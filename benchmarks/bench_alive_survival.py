@@ -1,0 +1,58 @@
+"""Section 5.1.2 — the survival ratio.
+
+SSE's second pass touches only alive intervals; the fraction of records
+it touches (the survival ratio) controls its cost. The ratio falls as
+intervals get finer (more, tighter lower bounds) — the knob the paper's
+q=10,000 setting turns. This bench regenerates survival ratio vs q at
+the root of the Quest workload.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table
+from repro.clouds.builder import node_boundaries
+from repro.clouds.nodestats import stats_from_arrays
+from repro.clouds.ss import find_split_ss
+from repro.clouds.sse import determine_alive_intervals, survival_ratio
+from repro.data import generate_quest, quest_schema
+
+QS = [10, 25, 50, 100, 200, 400]
+
+
+@pytest.mark.benchmark(group="survival")
+def test_survival_ratio_vs_q(benchmark):
+    schema = quest_schema()
+    cols, labels = generate_quest(20_000, function=2, seed=10, noise=0.05)
+    sample = {k: v[:4000] for k, v in cols.items()}
+
+    def run():
+        out = []
+        for q in QS:
+            bounds = node_boundaries(schema, sample, q)
+            stats = stats_from_arrays(schema, cols, labels, bounds)
+            split = find_split_ss(stats, schema)
+            alive = determine_alive_intervals(stats, schema, split.gini)
+            out.append(
+                (q, len(alive), survival_ratio(alive, stats.n), split.gini)
+            )
+        return out
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nSurvival ratio vs interval count (root node, 20k records)")
+    print(format_table(
+        ["q", "alive intervals", "survival ratio", "gini_min"],
+        series,
+    ))
+    print(format_series("survival", [s[0] for s in series], [s[2] for s in series]))
+    print("paper: SSE 'effectively reduces the search space'; q=10,000 at "
+          "the root keeps the ratio small")
+
+    ratios = [s[2] for s in series]
+    # finer intervals survive less
+    assert ratios[-1] < ratios[0]
+    assert ratios[-1] < 0.25
+    # gini_min improves (weakly) with finer boundaries
+    ginis = [s[3] for s in series]
+    assert ginis[-1] <= ginis[0] + 1e-9
+    benchmark.extra_info["ratios"] = dict(zip(QS, (round(r, 4) for r in ratios)))

@@ -1,0 +1,82 @@
+"""Analytic cost model vs simulation (DESIGN.md §5 cross-validation).
+
+The paper reasons about the Section-3 techniques analytically; the
+simulator executes them. This bench puts the closed-form predictions of
+:class:`repro.dnc.DncCostModel` next to the simulator's measurements —
+the rankings must agree and the magnitudes stay within one decade, which
+validates both the formulas and the simulator. It also prints the
+compute-independent task-parallel variant, which exists only analytically
+(the paper describes it but also never implemented it).
+"""
+
+import pytest
+
+from repro.bench.harness import scaled_models
+from repro.bench.reporting import format_table
+from repro.cluster import Cluster
+from repro.dnc import DncCostModel, SyntheticDnc, TreeShape, run_strategy
+
+N = 40_000
+P = 8
+MEM = 16 * 1024
+LEAF = 128
+
+
+@pytest.mark.benchmark(group="cost-model")
+def test_analytic_vs_simulated(benchmark):
+    net, disk, compute = scaled_models(100.0)
+    model = DncCostModel(network=net, disk=disk, compute=compute, n_ranks=P)
+    shape = TreeShape(n_records=N, leaf_records=LEAF)
+    problem = SyntheticDnc(leaf_records=LEAF, split_ratio=0.5)
+
+    def run():
+        predicted = {
+            "data": model.data_parallel(shape, MEM),
+            "concatenated": model.concatenated(shape, MEM),
+            "task": model.task_parallel_compute_dependent(shape),
+            "mixed": model.mixed(shape, switch_records=N // (2 * P),
+                                 memory_limit=MEM),
+        }
+        measured = {}
+        for strat in predicted:
+            cluster = Cluster(
+                P, network=net, disk=disk, compute=compute,
+                memory_limit=MEM, seed=0,
+            )
+            measured[strat] = run_strategy(cluster, problem, N, strat, seed=3).elapsed
+        return predicted, measured
+
+    predicted, measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [s, predicted[s], measured[s], predicted[s] / measured[s]]
+        for s in predicted
+    ]
+    rows.append(
+        [
+            "task (compute-indep I/O)",
+            DncCostModel(
+                network=net, disk=disk, compute=compute, n_ranks=P
+            ).task_parallel_compute_independent(
+                TreeShape(n_records=N, leaf_records=LEAF)
+            ),
+            float("nan"),
+            float("nan"),
+        ]
+    )
+    print("\nAnalytic predictions vs simulated measurements "
+          f"({N:,} records, p={P}, {MEM >> 10} KiB/proc)")
+    print(format_table(
+        ["strategy", "predicted (s)", "simulated (s)", "ratio"], rows
+    ))
+
+    # rankings agree on the paper's headline comparison
+    assert (predicted["data"] < predicted["concatenated"]) == (
+        measured["data"] < measured["concatenated"]
+    )
+    # magnitudes within one decade for every strategy
+    for s in measured:
+        assert 0.1 < predicted[s] / measured[s] < 10.0, s
+    benchmark.extra_info["ratios"] = {
+        s: round(predicted[s] / measured[s], 2) for s in measured
+    }

@@ -1,0 +1,83 @@
+"""Figure 1 — speedup characteristics of pCLOUDS.
+
+The paper plots speedup vs number of processors for 3.6, 4.8, 6.0 and
+7.2 million training records on the 16-node SP2 and reports (a) near-
+linear speedup, (b) speedup improving with data size, and (c) occasional
+superlinearity at small p from aggregate memory/disk bandwidth. This
+bench regenerates the four curves at 1:200 record scale with all
+per-record costs scaled to match (see benchmarks/conftest.py) and checks
+those three shape properties.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table
+
+from conftest import RANKS, SIZES
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_speedup(benchmark, grid):
+    def run():
+        return {
+            label: [grid.speedup(n, p) for p in RANKS]
+            for label, n in SIZES.items()
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nFigure 1: speedup vs processors (paper-scale labels)")
+    rows = [
+        [f"{label} records", *(f"{s:.2f}" for s in curves[label])]
+        for label in SIZES
+    ]
+    print(format_table(["data set", *(f"p={p}" for p in RANKS)], rows))
+    for label in SIZES:
+        print(format_series(label, RANKS, curves[label]))
+    print(
+        "paper: near-linear speedup, improving with data size; "
+        "~10-12x at p=16 for the larger sets"
+    )
+
+    for label, n in SIZES.items():
+        s = curves[label]
+        # speedup grows monotonically with p for every data size
+        assert all(b > a for a, b in zip(s, s[1:])), (label, s)
+        # and is substantial at p=16
+        assert s[-1] > 6.0, (label, s)
+    # sizeup flavour of Fig 1: more data, better speedup at p=16
+    assert curves["7.2M"][-1] > curves["3.6M"][-1]
+    benchmark.extra_info["speedup_p16"] = {
+        k: round(v[-1], 2) for k, v in curves.items()
+    }
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_superlinear_with_aggregate_memory(benchmark):
+    """The paper observes superlinear speedup at small p, attributed to
+    cache effects and 'the gain in I/O bandwidth with data being
+    distributed across multiple disks'. The mechanism needs the memory
+    limit to bind at p=1 and relax in aggregate: with a per-processor
+    memory of 1/10 of the training set, two processors hold 1/5 of it —
+    enough extra residency to beat 2x."""
+    from repro.bench.harness import ExperimentConfig, run_pclouds
+
+    def run():
+        times = {}
+        for p in (1, 2, 4):
+            cfg = ExperimentConfig(
+                n_records=18_000, n_ranks=p, scale=200.0,
+                memory_ratio=0.1, seed=0,
+            )
+            times[p] = run_pclouds(cfg).elapsed
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    s2 = times[1] / times[2]
+    s4 = times[1] / times[4]
+    print(f"\nsuperlinear check (memory = data/10): speedup p=2: {s2:.3f}, "
+          f"p=4: {s4:.3f}")
+    print("paper: superlinear speedup observed in some cases on 4 processors")
+    assert s2 > 2.0  # superlinear at p=2
+    assert s4 > 3.2
+    benchmark.extra_info["speedups"] = {"p2": round(s2, 3), "p4": round(s4, 3)}

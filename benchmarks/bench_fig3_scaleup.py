@@ -1,0 +1,76 @@
+"""Figure 3 — scaleup characteristics of pCLOUDS.
+
+The paper fixes the per-processor data density (0.2-0.6 million records
+per processor) and plots parallel runtime vs machine size: ideally flat,
+in practice a mild near-linear increase because idle processors are not
+regrouped during the delayed task-parallel phase (and collective
+latencies grow with log p). This bench regenerates three density curves
+at 1:200 scale and checks (a) runtime grows only mildly with p — far
+slower than the 16x work growth — and (b) higher densities sit strictly
+above lower ones.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, run_pclouds
+from repro.bench.reporting import format_series, format_table
+
+from conftest import SCALE
+
+#: records per processor: paper's 0.2M/0.4M/0.6M at 1:SCALE
+DENSITIES = {"0.2M/proc": 1000, "0.4M/proc": 2000, "0.6M/proc": 3000}
+RANKS = [1, 2, 4, 8, 16]
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_scaleup(benchmark):
+    def run():
+        curves = {}
+        for label, per_proc in DENSITIES.items():
+            curves[label] = [
+                run_pclouds(
+                    ExperimentConfig(
+                        n_records=per_proc * p, n_ranks=p, scale=SCALE, seed=0
+                    )
+                ).elapsed
+                for p in RANKS
+            ]
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nFigure 3: parallel runtime vs processors at fixed density")
+    rows = [
+        [label, *(f"{t:.1f}" for t in curves[label])] for label in DENSITIES
+    ]
+    print(format_table(["density", *(f"p={p}" for p in RANKS)], rows))
+    for label in DENSITIES:
+        print(format_series(label, RANKS, curves[label]))
+    print(
+        "paper: near-linear mild increase in runtime with p "
+        "(no processor regrouping in the task-parallel phase)"
+    )
+
+    for label, series in curves.items():
+        # scaleup: total work grows 16x from p=1 to p=16; runtime must
+        # grow far less (ideal flat; the paper shows a mild increase, and
+        # our slope is a little steeper because the 1:200 record scale
+        # keeps per-node latencies constant while node sizes shrink —
+        # see EXPERIMENTS.md)
+        assert series[-1] < series[0] * 6.0, (label, series)
+        # and the increase is monotone, as in the paper's figure
+        assert all(b >= a for a, b in zip(series, series[1:])), (label, series)
+    # higher densities cost more at every machine size
+    for p_idx in range(len(RANKS)):
+        assert (
+            curves["0.6M/proc"][p_idx]
+            > curves["0.4M/proc"][p_idx]
+            > curves["0.2M/proc"][p_idx]
+        )
+    # denser curves amortise the fixed overheads better: their relative
+    # runtime growth is the smallest
+    growth = {k: v[-1] / v[0] for k, v in curves.items()}
+    assert growth["0.6M/proc"] < growth["0.2M/proc"]
+    benchmark.extra_info["runtime_growth_p16_over_p1"] = {
+        k: round(v[-1] / v[0], 2) for k, v in curves.items()
+    }

@@ -1,0 +1,83 @@
+"""Section 4.1 — SS vs SSE on the out-of-core sequential classifier.
+
+SS derives the splitter in one pass over the data; SSE adds a second
+pass restricted to alive intervals and in exchange finds strictly better
+(usually exact) splitters. This bench regenerates the trade-off: I/O
+volume per method, split quality, and the resulting tree quality.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.cluster.clock import SimClock
+from repro.cluster.diskmodel import DiskModel
+from repro.cluster.stats import RankStats
+from repro.clouds import (
+    CloudsBuilder,
+    CloudsConfig,
+    accuracy,
+    mdl_prune,
+    train_test_split,
+)
+from repro.data import generate_quest, quest_schema
+from repro.ooc import ColumnSet, InMemoryBackend, LocalDisk
+
+
+def _fit_ooc(method: str, tr_c, tr_y):
+    schema = quest_schema()
+    disk = LocalDisk(DiskModel(), SimClock(), RankStats(), InMemoryBackend())
+    cs = ColumnSet.from_arrays(disk, schema, tr_c, tr_y, batch_rows=2048)
+    cfg = CloudsConfig(method=method, q_root=200, sample_size=1200, min_node=16)
+    tree = CloudsBuilder(schema, cfg).fit_columnset(cs, seed=7)
+    return tree, disk.stats
+
+
+@pytest.mark.benchmark(group="ss-vs-sse")
+def test_ss_vs_sse(benchmark):
+    cols, labels = generate_quest(10_000, function=2, seed=8, noise=0.05)
+    tr_c, tr_y, te_c, te_y = train_test_split(cols, labels, 0.25, seed=9)
+
+    def run():
+        out = {}
+        for method in ("ss", "sse"):
+            tree, stats = _fit_ooc(method, tr_c, tr_y)
+            acc_raw = accuracy(te_y, tree.predict(te_c))
+            mdl_prune(tree)
+            out[method] = {
+                "bytes_read": stats.bytes_read,
+                "io_time": stats.io_time,
+                "accuracy": accuracy(te_y, tree.predict(te_c)),
+                "accuracy_unpruned": acc_raw,
+                "nodes": tree.n_nodes,
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [m, r["bytes_read"] >> 20, r["io_time"], r["accuracy_unpruned"],
+         r["accuracy"], r["nodes"]]
+        for m, r in results.items()
+    ]
+    print("\nSS vs SSE (sequential out-of-core CLOUDS, 7.5k train records)")
+    print(format_table(
+        ["method", "MiB read", "sim I/O time (s)", "accuracy",
+         "pruned accuracy", "pruned nodes"],
+        rows,
+    ))
+    print("paper: SSE is the more robust/scalable method; it may take an "
+          "extra partial pass but effectively narrows the search space")
+
+    ss, sse = results["ss"], results["sse"]
+    # SSE reads more (the alive pass) but its splits are at least as good
+    # (compare unpruned accuracy — split quality is what SSE refines;
+    # post-pruning numbers add MDL's own variance on top)
+    assert sse["bytes_read"] >= ss["bytes_read"]
+    assert sse["accuracy_unpruned"] >= ss["accuracy_unpruned"] - 0.005
+    assert sse["accuracy"] >= ss["accuracy"] - 0.03
+    # the alive pass is restricted: nowhere near doubling the I/O of SS
+    assert sse["bytes_read"] < 2.0 * ss["bytes_read"]
+    benchmark.extra_info["results"] = {
+        m: {k: (round(v, 4) if isinstance(v, float) else v) for k, v in r.items()}
+        for m, r in results.items()
+    }

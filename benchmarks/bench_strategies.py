@@ -1,0 +1,99 @@
+"""Section 3 — comparison of the parallel out-of-core divide-and-conquer
+techniques.
+
+The paper argues (without a figure) that for large external-memory
+problems data parallelism beats concatenated parallelism — concatenated
+parallelism shares main memory across the tasks solved together, causing
+extra I/O — while task parallelism wins at fine grain where per-task
+synchronisation dominates, motivating the mixed approach pCLOUDS uses.
+This bench makes those claims measurable on the synthetic D&C workload.
+"""
+
+import pytest
+
+from repro.bench.harness import scaled_models
+from repro.bench.reporting import format_table
+from repro.cluster import Cluster
+from repro.dnc import STRATEGIES, SyntheticDnc, run_strategy
+
+
+def make_cluster(p=8, memory_kib=16):
+    net, disk, compute = scaled_models(100.0)
+    return Cluster(
+        p, network=net, disk=disk, compute=compute,
+        memory_limit=memory_kib * 1024, seed=0,
+    )
+
+
+@pytest.mark.benchmark(group="section3")
+def test_strategy_comparison(benchmark):
+    problem = SyntheticDnc(leaf_records=128, split_ratio=0.5, work_per_record=2.0)
+
+    def run():
+        return {
+            s: run_strategy(make_cluster(), problem, 40_000, s, seed=3)
+            for s in STRATEGIES
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nSection 3: strategies on an out-of-core D&C problem "
+          "(40k records, p=8, 16 KiB memory/proc)")
+    print(
+        format_table(
+            ["strategy", "sim time (s)", "tasks", "depth",
+             "bytes read", "bytes sent", "collectives"],
+            [results[s].row() for s in STRATEGIES],
+        )
+    )
+
+    data, conc = results["data"], results["concatenated"]
+    task, mixed = results["task"], results["mixed"]
+    # identical trees
+    shapes = {(r.outcome.n_tasks, r.outcome.n_leaves, r.outcome.max_depth)
+              for r in results.values()}
+    assert len(shapes) == 1
+    # the paper's claim: data parallelism beats concatenated out-of-core
+    assert data.elapsed < conc.elapsed
+    assert data.bytes_read < conc.bytes_read
+    # concatenated's one advantage: spooled communication startups
+    assert conc.collectives < data.collectives
+    # task parallelism pays redistribution traffic
+    assert task.bytes_sent > data.bytes_sent
+    # mixed combines the good halves: best or near-best overall
+    assert mixed.elapsed <= min(data.elapsed, conc.elapsed)
+    benchmark.extra_info["elapsed"] = {
+        s: round(r.elapsed, 2) for s, r in results.items()
+    }
+
+
+@pytest.mark.benchmark(group="section3")
+def test_skew_sensitivity(benchmark):
+    """Task parallelism degrades on skewed trees (subgroup sizes cannot
+    track a lopsided cost split); mixed parallelism stays robust."""
+
+    def run():
+        out = {}
+        for ratio in (0.5, 0.85):
+            problem = SyntheticDnc(leaf_records=128, split_ratio=ratio)
+            out[ratio] = {
+                s: run_strategy(make_cluster(), problem, 30_000, s, seed=4)
+                for s in ("data", "task", "mixed")
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for ratio, by_strat in results.items():
+        for s, r in by_strat.items():
+            rows.append([ratio, s, r.elapsed, r.outcome.max_depth])
+    print()
+    print(format_table(["split ratio", "strategy", "sim time (s)", "depth"], rows))
+
+    balanced, skewed = results[0.5], results[0.85]
+    # skew hurts task parallelism far more than mixed
+    task_penalty = skewed["task"].elapsed / balanced["task"].elapsed
+    mixed_penalty = skewed["mixed"].elapsed / balanced["mixed"].elapsed
+    assert task_penalty > mixed_penalty
+    assert skewed["mixed"].elapsed < skewed["task"].elapsed

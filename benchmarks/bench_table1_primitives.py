@@ -1,0 +1,93 @@
+"""Table 1 — time complexity of the collective communication primitives
+on a cut-through routed hypercube.
+
+Regenerates the table by measuring the *simulated* cost of each primitive
+executed by real SPMD programs over a sweep of message sizes and machine
+sizes, and checks the measured costs follow the Table-1 scaling laws:
+
+    all-to-all broadcast   O(alpha log p + beta m (p-1))
+    gather                 O(alpha log p + beta m p)
+    global combine         O(alpha log p + beta m)
+    prefix sum             O(alpha log p + beta m)
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.cluster import Cluster, NetworkModel
+
+ALPHA, BETA = 1e-4, 1e-8
+SIZES_BYTES = [1 << 10, 1 << 14, 1 << 18]
+RANKS = [2, 4, 8, 16, 32]
+
+
+def _measure(p: int, nbytes: int) -> dict[str, float]:
+    """Simulated comm time of each primitive for one (p, m) point."""
+    cluster = Cluster(p, network=NetworkModel(alpha=ALPHA, beta=BETA), seed=0)
+    payload = np.zeros(nbytes // 8, dtype=np.float64)
+
+    def prog(ctx):
+        out = {}
+        for name, op in (
+            ("all-to-all bcast", lambda: ctx.comm.allgather(payload)),
+            ("gather", lambda: ctx.comm.gather(payload, root=0)),
+            ("global combine", lambda: ctx.comm.allreduce(payload)),
+            ("prefix sum", lambda: ctx.comm.scan(payload)),
+        ):
+            before = ctx.stats.comm_time
+            op()
+            out[name] = ctx.stats.comm_time - before
+        return out
+
+    return cluster.run(prog).results[0]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_primitives(benchmark):
+    rows = []
+    results: dict[tuple[int, int], dict[str, float]] = {}
+
+    def run():
+        for p in RANKS:
+            for m in SIZES_BYTES:
+                results[(p, m)] = _measure(p, m)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for p in RANKS:
+        for m in SIZES_BYTES:
+            r = results[(p, m)]
+            rows.append(
+                [p, m >> 10, *(r[k] * 1e3 for k in (
+                    "all-to-all bcast", "gather", "global combine", "prefix sum"
+                ))]
+            )
+    print()
+    print(
+        format_table(
+            ["p", "m (KiB)", "a2a bcast (ms)", "gather (ms)",
+             "combine (ms)", "prefix (ms)"],
+            rows,
+            title="Table 1: collective primitive costs (simulated, "
+            f"alpha={ALPHA}, beta={BETA})",
+        )
+    )
+
+    # scaling-law assertions at fixed p=16
+    p, m = 16, 1 << 18
+    r = results[(p, m)]
+    assert r["all-to-all bcast"] == pytest.approx(
+        ALPHA * 4 + BETA * m * (p - 1), rel=1e-6
+    )
+    assert r["gather"] == pytest.approx(ALPHA * 4 + BETA * m * p, rel=1e-6)
+    assert r["global combine"] == pytest.approx(ALPHA * 4 + BETA * m, rel=1e-6)
+    assert r["prefix sum"] == pytest.approx(ALPHA * 4 + BETA * m, rel=1e-6)
+    # combine's bandwidth term is p-independent; bcast's is not
+    assert (
+        results[(32, m)]["global combine"] - results[(2, m)]["global combine"]
+        == pytest.approx(4 * ALPHA, rel=1e-6)
+    )
+    assert results[(32, m)]["all-to-all bcast"] > results[(2, m)]["all-to-all bcast"] * 4
+    benchmark.extra_info["points"] = len(results)

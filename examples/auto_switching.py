@@ -1,0 +1,58 @@
+"""The analytic mixed-parallelism switch (extension).
+
+The paper fixes the data-parallel → task-parallel switch at ten intervals
+and notes that "analytical characterization [of the switching criterion]
+is currently under investigation". This example runs the criterion
+derived from the machine's cost models (``q_switch="auto"``,
+repro.core.switching) against a sweep of fixed thresholds.
+
+Run:  python examples/auto_switching.py
+"""
+
+from repro.bench.harness import ExperimentConfig, run_pclouds
+from repro.bench.reporting import format_table
+from repro.clouds import CloudsConfig
+from repro.core import auto_q_switch, break_even_node_size
+from repro.bench.harness import scaled_models
+from repro.data import quest_schema
+
+
+def main() -> None:
+    n, p, scale = 18_000, 8, 200.0
+    schema = quest_schema()
+    net, disk, compute = scaled_models(scale)
+
+    n_star = break_even_node_size(schema, net, disk, compute, p)
+    q_auto = auto_q_switch(
+        schema, CloudsConfig(q_root=500), net, disk, compute, p, n
+    )
+    print(f"machine: p={p}, cost models at 1:{scale:g} record scale")
+    print(f"latency break-even node size: {n_star:.0f} records")
+    print(f"analytic threshold: q_switch = {q_auto}\n")
+
+    rows = []
+    for qs in (2, 10, 40, 160, "auto"):
+        res = run_pclouds(
+            ExperimentConfig(
+                n_records=n, n_ranks=p, scale=scale, q_switch=qs, seed=0
+            )
+        )
+        rows.append(
+            [qs, f"{res.elapsed:.1f}", res.n_large_nodes, res.n_small_tasks]
+        )
+    print(
+        format_table(
+            ["q_switch", "sim time (s)", "large nodes", "small tasks"],
+            rows,
+            title=f"{n:,} records on {p} processors",
+        )
+    )
+    print(
+        "\nThe paper used q_switch=10. 'auto' derives the threshold from\n"
+        "the latency floor (nodes that synchronise more than they compute)\n"
+        "and an LPT-balance bound (enough deferred subtrees to balance)."
+    )
+
+
+if __name__ == "__main__":
+    main()

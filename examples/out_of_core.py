@@ -1,0 +1,84 @@
+"""Out-of-core behaviour under a memory limit.
+
+Builds the same tree under three per-processor memory budgets and shows
+how the limit decides in-core vs streaming node processing — the
+re-reading that makes out-of-core construction I/O-bound, and the reason
+aggregate memory gives the paper's superlinear speedups. Also
+demonstrates the FileBackend, which really spools chunks to .npy files.
+
+Run:  python examples/out_of_core.py
+"""
+
+import os
+
+from repro.bench.harness import scaled_models
+from repro.cluster import Cluster
+from repro.clouds import CloudsConfig, accuracy
+from repro.core import DistributedDataset, PClouds, PCloudsConfig
+from repro.data import generate_quest, quest_schema
+from repro.ooc import FileBackend
+
+
+def build(memory_limit, columns, labels, backend_factory=None):
+    schema = quest_schema()
+    net, disk, compute = scaled_models(100.0)
+    cluster = Cluster(
+        4,
+        network=net,
+        disk=disk,
+        compute=compute,
+        memory_limit=memory_limit,
+        backend_factory=backend_factory,
+        seed=0,
+    )
+    dataset = DistributedDataset.create(cluster, schema, columns, labels, seed=1)
+    pclouds = PClouds(
+        PCloudsConfig(
+            clouds=CloudsConfig(
+                method="sse", q_root=300, sample_size=1_200, min_node=16
+            ),
+            q_switch=10,
+        )
+    )
+    return pclouds.fit(dataset, seed=2)
+
+
+def main() -> None:
+    columns, labels = generate_quest(12_000, function=2, seed=0, noise=0.05)
+    raw_bytes = 12_000 * quest_schema().row_nbytes()
+    print(f"training set: {raw_bytes >> 10} KiB across 4 disks\n")
+
+    print(f"{'memory/proc':>12}  {'sim time':>9}  {'MiB read':>9}  {'accuracy':>8}")
+    for limit in (None, 64 * 1024, 8 * 1024):
+        res = build(limit, columns, labels)
+        label = "unlimited" if limit is None else f"{limit >> 10} KiB"
+        reads = res.run.stats.total.bytes_read / 2**20
+        acc = accuracy(labels, res.tree.predict(columns))
+        print(f"{label:>12}  {res.elapsed:8.1f}s  {reads:9.1f}  {acc:8.4f}")
+
+    print(
+        "\nTighter memory -> more streaming passes -> more bytes read and a\n"
+        "longer simulated run; the tree itself is identical (residency\n"
+        "never changes results)."
+    )
+
+    # the FileBackend really writes chunk files to a spool directory
+    backends = []
+
+    def file_backend():
+        b = FileBackend()
+        backends.append(b)
+        return b
+
+    res = build(16 * 1024, columns, labels, backend_factory=file_backend)
+    created = sum(b.chunks_created for b in backends)
+    live = sum(
+        len(os.listdir(b.root)) for b in backends if os.path.isdir(b.root)
+    )
+    print(f"\nFileBackend run: {created} .npy chunk files were spooled "
+          f"({live} still live — fit consumes its fragments)")
+    print(f"accuracy {accuracy(labels, res.tree.predict(columns)):.4f} (same tree)")
+
+
+if __name__ == "__main__":
+    main()

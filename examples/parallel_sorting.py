@@ -1,0 +1,60 @@
+"""Parallel out-of-core sample sort — the techniques applied beyond
+classification.
+
+Sorting is the canonical external-memory divide-and-conquer problem; this
+example sorts 200k records spread over 8 simulated disks with tiny
+per-processor memory, using the same substrate pCLOUDS runs on
+(replicated sampling, one personalized all-to-all, external merge sort
+under the memory budget).
+
+Run:  python examples/parallel_sorting.py
+"""
+
+import numpy as np
+
+from repro.bench.harness import scaled_models
+from repro.bench.reporting import format_table
+from repro.cluster import Cluster
+from repro.dnc import parallel_sample_sort
+
+
+def make_cluster(p: int, memory_kib: int) -> Cluster:
+    net, disk, compute = scaled_models(100.0)
+    return Cluster(
+        p, network=net, disk=disk, compute=compute,
+        memory_limit=memory_kib * 1024, seed=0,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=200_000)
+    total_kib = values.nbytes >> 10
+    print(f"sorting {len(values):,} float64 records ({total_kib} KiB) "
+          f"with 64 KiB of memory per processor\n")
+
+    rows = []
+    base = None
+    for p in (1, 2, 4, 8):
+        res = parallel_sample_sort(make_cluster(p, 64), values, seed=1)
+        assert res.verify(), "output must be globally sorted"
+        if base is None:
+            base = res.elapsed
+        rows.append([
+            p, f"{res.elapsed:.1f}", f"{base / res.elapsed:.2f}",
+            f"{res.imbalance():.3f}",
+            res.run.stats.total.bytes_read >> 20,
+        ])
+    print(format_table(
+        ["p", "sim time (s)", "speedup", "bucket imbalance", "MiB read"],
+        rows,
+    ))
+    print(
+        "\nBuckets stay balanced (oversampled splitters, the Theorem-1\n"
+        "argument pCLOUDS uses for its record distribution), and the\n"
+        "external merge sort's extra passes show up in the bytes read."
+    )
+
+
+if __name__ == "__main__":
+    main()

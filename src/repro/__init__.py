@@ -1,0 +1,56 @@
+"""repro — reproduction of *Parallel Out-of-Core Divide-and-Conquer
+Techniques with Application to Classification Trees* (IPPS 1999).
+
+Public API tour
+---------------
+* :mod:`repro.cluster` — the simulated shared-nothing machine (MPI-like
+  communicator with Table-1 cost models, per-rank disks and clocks).
+* :mod:`repro.ooc` — out-of-core column files and the memory budget.
+* :mod:`repro.data` — the Quest synthetic generator and record
+  distribution.
+* :mod:`repro.clouds` — sequential CLOUDS (SS/SSE), the direct method,
+  MDL pruning and the SPRINT baseline.
+* :mod:`repro.dnc` — the generic parallel out-of-core divide-and-conquer
+  strategies of Section 3.
+* :mod:`repro.core` — pCLOUDS itself.
+
+Quickstart::
+
+    from repro import Cluster, DistributedDataset, PClouds, PCloudsConfig
+    from repro.data import generate_quest, quest_schema
+
+    cols, labels = generate_quest(50_000, function=2, seed=0)
+    cluster = Cluster(8, memory_limit=1 << 20, seed=0)
+    data = DistributedDataset.create(cluster, quest_schema(), cols, labels)
+    result = PClouds(PCloudsConfig()).fit(data)
+    print(result.elapsed, result.tree.n_leaves)
+"""
+
+from repro.cluster import Cluster, ComputeModel, DiskModel, NetworkModel
+from repro.clouds import (
+    CloudsBuilder,
+    CloudsConfig,
+    DecisionTree,
+    SprintBuilder,
+    StoppingRule,
+)
+from repro.core import DistributedDataset, PClouds, PCloudsConfig, PCloudsResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "CloudsBuilder",
+    "CloudsConfig",
+    "ComputeModel",
+    "DecisionTree",
+    "DiskModel",
+    "DistributedDataset",
+    "NetworkModel",
+    "PClouds",
+    "PCloudsConfig",
+    "PCloudsResult",
+    "SprintBuilder",
+    "StoppingRule",
+    "__version__",
+]

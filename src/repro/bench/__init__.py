@@ -1,0 +1,28 @@
+"""Experiment harness shared by benchmarks/ and examples/."""
+
+from .harness import (
+    PAPER_MEMORY_RATIO,
+    ExperimentConfig,
+    SpeedupPoint,
+    build_cluster,
+    run_pclouds,
+    scaled_models,
+    speedup_series,
+)
+from .reporting import format_series, format_table, print_table
+from .timeline import render_phase_bars, render_rank_bars
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_MEMORY_RATIO",
+    "SpeedupPoint",
+    "build_cluster",
+    "format_series",
+    "format_table",
+    "print_table",
+    "render_phase_bars",
+    "render_rank_bars",
+    "run_pclouds",
+    "scaled_models",
+    "speedup_series",
+]

@@ -1,0 +1,50 @@
+"""Plain-text tables for the benchmark harness — each bench prints the
+same rows/series the paper's figures plot."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series", "print_table"]
+
+
+def _fmt(x: Any) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.01:
+            return f"{x:.3g}"
+        return f"{x:.3f}".rstrip("0").rstrip(".")
+    return str(x)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Fixed-width ascii table."""
+    cells = [[_fmt(x) for x in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """One figure curve as `name: (x, y) ...` pairs."""
+    pairs = ", ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> None:
+    print()
+    print(format_table(headers, rows, title=title))

@@ -1,0 +1,72 @@
+"""ASCII timelines of simulated runs.
+
+Renders per-rank phase times (from :class:`~repro.cluster.clock.PhaseTimer`
+snapshots) as horizontal bars — a quick visual answer to "where did the
+time go and was it balanced?" without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_phase_bars", "render_rank_bars"]
+
+_BLOCK = "█"
+_PARTIAL = "▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    full = int(cells)
+    frac = cells - full
+    out = _BLOCK * full
+    if frac > 1 / 8 and full < width:
+        out += _PARTIAL[min(int(frac * 8), 6)]
+    return out
+
+
+def render_phase_bars(
+    phase_times: Sequence[Mapping[str, float]],
+    width: int = 40,
+) -> str:
+    """One bar per phase (max over ranks), annotated with the imbalance.
+
+    ``phase_times`` is ``SpmdRun.phase_times`` — one dict per rank.
+    """
+    phases = sorted({k for pt in phase_times for k in pt})
+    if not phases:
+        return "(no phases recorded)"
+    maxima = {
+        k: max(pt.get(k, 0.0) for pt in phase_times) for k in phases
+    }
+    means = {
+        k: sum(pt.get(k, 0.0) for pt in phase_times) / len(phase_times)
+        for k in phases
+    }
+    scale = max(maxima.values())
+    name_w = max(len(k) for k in phases)
+    lines = []
+    for k in phases:
+        imb = maxima[k] / means[k] if means[k] > 0 else 1.0
+        lines.append(
+            f"{k:<{name_w}}  {_bar(maxima[k], scale, width):<{width}}  "
+            f"{maxima[k]:9.2f}s  (imbalance {imb:.2f})"
+        )
+    return "\n".join(lines)
+
+
+def render_rank_bars(
+    values: Sequence[float],
+    label: str = "rank",
+    width: int = 40,
+) -> str:
+    """One bar per rank for any per-rank quantity (busy time, bytes...)."""
+    if not values:
+        return "(no ranks)"
+    scale = max(values)
+    lines = []
+    for r, v in enumerate(values):
+        lines.append(f"{label} {r:<3} {_bar(v, scale, width):<{width}} {v:12.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Four subcommands cover the workflows the paper's users would run::
+
+    repro generate --records 50000 --function 2 --out data.npz
+    repro train data.npz --builder pclouds --ranks 8 --tree-out tree.json
+    repro evaluate tree.json data.npz
+    repro speedup --records 18000 --ranks 1 2 4 8
+
+Datasets travel as ``.npz`` archives (one array per attribute column plus
+``labels``); trees as the JSON wire format of
+:meth:`repro.clouds.DecisionTree.to_dict`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench.harness import ExperimentConfig, run_pclouds, scaled_models
+from repro.bench.reporting import format_table
+from repro.cluster import Cluster
+from repro.clouds import (
+    CloudsBuilder,
+    CloudsConfig,
+    DecisionTree,
+    SprintBuilder,
+    StoppingRule,
+    accuracy,
+    fit_direct,
+    mdl_prune,
+)
+from repro.core import (
+    DistributedDataset,
+    PClouds,
+    PCloudsConfig,
+    parallel_evaluate,
+)
+from repro.data import generate_quest, quest_schema
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_dataset(path: str) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    with np.load(path) as archive:
+        labels = archive["labels"]
+        columns = {k: archive[k] for k in archive.files if k != "labels"}
+    quest_schema().validate_columns(columns, labels)
+    return columns, labels
+
+
+def _save_dataset(path: str, columns: dict[str, np.ndarray], labels: np.ndarray) -> None:
+    np.savez_compressed(path, labels=labels, **columns)
+
+
+# -- subcommands --------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    columns, labels = generate_quest(
+        args.records, function=args.function, seed=args.seed, noise=args.noise
+    )
+    _save_dataset(args.out, columns, labels)
+    frac = float(np.mean(labels == 0)) if len(labels) else 0.0
+    print(
+        f"wrote {args.records:,} records (function {args.function}, "
+        f"noise {args.noise:g}, {frac:.1%} Group A) to {args.out}"
+    )
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    columns, labels = _load_dataset(args.data)
+    schema = quest_schema()
+    stopping = dict(min_node=args.min_node, purity=args.purity)
+
+    if args.builder == "pclouds":
+        net, disk, compute = scaled_models(args.scale)
+        cluster = Cluster(
+            args.ranks,
+            network=net,
+            disk=disk,
+            compute=compute,
+            memory_limit=args.memory_limit,
+            seed=args.seed,
+        )
+        dataset = DistributedDataset.create(
+            cluster, schema, columns, labels, seed=args.seed + 1
+        )
+        config = PCloudsConfig(
+            clouds=CloudsConfig(
+                method=args.method,
+                q_root=args.q_root,
+                sample_size=args.sample_size,
+                **stopping,
+            ),
+            q_switch="auto" if args.q_switch == "auto" else int(args.q_switch),
+        )
+        result = PClouds(config).fit(dataset, seed=args.seed + 2)
+        tree = result.tree
+        print(
+            f"pCLOUDS on {args.ranks} ranks: {result.elapsed:.1f} simulated s "
+            f"({result.n_large_nodes} large nodes, "
+            f"{result.n_small_tasks} small tasks)"
+        )
+    elif args.builder in ("clouds-ss", "clouds-sse"):
+        cfg = CloudsConfig(
+            method=args.builder.split("-")[1],
+            q_root=args.q_root,
+            sample_size=args.sample_size,
+            **stopping,
+        )
+        tree = CloudsBuilder(schema, cfg).fit_arrays(columns, labels, seed=args.seed)
+    elif args.builder == "sprint":
+        tree = SprintBuilder(schema, StoppingRule(**stopping)).fit(columns, labels)
+    elif args.builder == "sliq":
+        from repro.clouds import SliqBuilder
+
+        tree = SliqBuilder(schema, StoppingRule(**stopping)).fit(columns, labels)
+    elif args.builder == "direct":
+        tree = fit_direct(schema, columns, labels, StoppingRule(**stopping))
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(args.builder)
+
+    if args.prune:
+        _, removed = mdl_prune(tree)
+        print(f"MDL pruning removed {removed} nodes")
+    print(
+        f"tree: {tree.n_nodes} nodes, {tree.n_leaves} leaves, depth {tree.depth}; "
+        f"train accuracy {accuracy(labels, tree.predict(columns)):.4f}"
+    )
+    if args.tree_out:
+        tree.save(args.tree_out)
+        print(f"wrote tree to {args.tree_out}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    tree = DecisionTree.load(args.tree, quest_schema())
+    columns, labels = _load_dataset(args.data)
+    if args.ranks > 1:
+        cluster = Cluster(args.ranks, seed=args.seed)
+        dataset = DistributedDataset.create(
+            cluster, quest_schema(), columns, labels, seed=args.seed
+        )
+        ev = parallel_evaluate(dataset, tree)
+        print(
+            f"accuracy {ev.accuracy:.4f} over {ev.n_records:,} records "
+            f"({ev.elapsed:.2f} simulated s on {args.ranks} ranks)"
+        )
+        print("confusion matrix (rows true, cols predicted):")
+        for row in ev.confusion:
+            print("  " + " ".join(f"{v:8d}" for v in row))
+    else:
+        acc = accuracy(labels, tree.predict(columns))
+        print(f"accuracy {acc:.4f} over {len(labels):,} records")
+    return 0
+
+
+def cmd_speedup(args: argparse.Namespace) -> int:
+    rows = []
+    base = None
+    for p in args.ranks:
+        res = run_pclouds(
+            ExperimentConfig(
+                n_records=args.records, n_ranks=p, scale=args.scale, seed=args.seed
+            )
+        )
+        if base is None:
+            base = res.elapsed
+        rows.append([p, res.elapsed, base / res.elapsed,
+                     res.n_large_nodes, res.n_small_tasks])
+    print(
+        format_table(
+            ["p", "sim time (s)", "speedup", "large", "small"],
+            rows,
+            title=f"pCLOUDS speedup, {args.records:,} records "
+            f"(1:{args.scale:g} of paper scale)",
+        )
+    )
+    return 0
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="pCLOUDS: parallel out-of-core decision-tree classification",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a Quest synthetic dataset")
+    g.add_argument("--records", type=int, required=True)
+    g.add_argument("--function", type=int, default=2, choices=range(1, 11))
+    g.add_argument("--noise", type=float, default=0.0)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out", required=True, help="output .npz path")
+    g.set_defaults(func=cmd_generate)
+
+    t = sub.add_parser("train", help="fit a classifier")
+    t.add_argument("data", help=".npz dataset from `repro generate`")
+    t.add_argument(
+        "--builder",
+        default="pclouds",
+        choices=["pclouds", "clouds-ss", "clouds-sse", "sprint", "sliq", "direct"],
+    )
+    t.add_argument("--ranks", type=int, default=8, help="pclouds: machine size")
+    t.add_argument("--method", default="sse", choices=["ss", "sse"])
+    t.add_argument("--q-root", type=int, default=500)
+    t.add_argument("--q-switch", default="10", help="interval threshold or 'auto'")
+    t.add_argument("--sample-size", type=int, default=2000)
+    t.add_argument("--min-node", type=int, default=16)
+    t.add_argument("--purity", type=float, default=1.0)
+    t.add_argument("--memory-limit", type=int, default=None, help="bytes per rank")
+    t.add_argument("--scale", type=float, default=100.0, help="cost-model scale")
+    t.add_argument("--prune", action="store_true", help="MDL-prune after fitting")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--tree-out", help="write fitted tree as JSON")
+    t.set_defaults(func=cmd_train)
+
+    e = sub.add_parser("evaluate", help="score a fitted tree on a dataset")
+    e.add_argument("tree", help="tree JSON from `repro train --tree-out`")
+    e.add_argument("data", help=".npz dataset")
+    e.add_argument("--ranks", type=int, default=1, help=">1: distributed evaluation")
+    e.add_argument("--seed", type=int, default=0)
+    e.set_defaults(func=cmd_evaluate)
+
+    s = sub.add_parser("speedup", help="run a quick speedup experiment")
+    s.add_argument("--records", type=int, default=18_000)
+    s.add_argument("--ranks", type=int, nargs="+", default=[1, 2, 4, 8])
+    s.add_argument("--scale", type=float, default=200.0)
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(func=cmd_speedup)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""The direct method: exact split search over in-memory data.
+
+pCLOUDS uses this for small nodes ("we sort the points along every
+numeric attribute and compute the gini index at each point", Section 5),
+and the test-suite uses it as the correctness oracle for SS/SSE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import Schema
+
+from .gini import best_categorical_split, best_numeric_split_exact
+from .intervals import class_counts
+from .splits import CATEGORICAL_SPLIT, NUMERIC_SPLIT, Split, better
+from .tree import DecisionTree, TreeNode
+
+__all__ = ["StoppingRule", "find_split_direct", "build_subtree_direct"]
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """When a node becomes a leaf.
+
+    ``min_node`` — don't split nodes smaller than this;
+    ``max_depth`` — absolute depth cap (None = unbounded);
+    ``purity`` — stop when the majority class fraction reaches this.
+    """
+
+    min_node: int = 2
+    max_depth: int | None = None
+    purity: float = 1.0
+
+    def is_leaf(self, counts: np.ndarray, depth: int) -> bool:
+        n = int(counts.sum())
+        if n < max(self.min_node, 2):
+            return True
+        if self.max_depth is not None and depth >= self.max_depth:
+            return True
+        return counts.max() / n >= self.purity
+
+
+def find_split_direct(
+    schema: Schema,
+    columns: dict[str, np.ndarray],
+    labels: np.ndarray,
+    enumerate_limit: int = 10,
+) -> Split | None:
+    """Exact minimum-gini split over every attribute of an in-memory
+    fragment."""
+    c = schema.n_classes
+    best: Split | None = None
+    for a in schema.numeric:
+        res = best_numeric_split_exact(columns[a.name], labels, c)
+        if res is not None:
+            g, thr = res
+            best = better(
+                best,
+                Split(attribute=a.name, kind=NUMERIC_SPLIT, gini=g, threshold=thr),
+            )
+    for a in schema.categorical:
+        flat = np.bincount(
+            np.asarray(columns[a.name], dtype=np.int64) * c
+            + np.asarray(labels, dtype=np.int64),
+            minlength=a.cardinality * c,
+        ).reshape(a.cardinality, c)
+        res = best_categorical_split(flat, enumerate_limit)
+        if res is not None:
+            g, left = res
+            best = better(
+                best,
+                Split(
+                    attribute=a.name, kind=CATEGORICAL_SPLIT, gini=g, left_codes=left
+                ),
+            )
+    return best
+
+
+def build_subtree_direct(
+    schema: Schema,
+    columns: dict[str, np.ndarray],
+    labels: np.ndarray,
+    stopping: StoppingRule,
+    *,
+    depth: int = 0,
+    next_id: int = 0,
+    enumerate_limit: int = 10,
+    on_node=None,
+) -> TreeNode:
+    """Recursive exact tree construction of an in-memory fragment.
+
+    ``on_node(n_records)`` is invoked once per constructed node so callers
+    (e.g. the simulated small-node processing) can charge compute costs.
+    Node ids are assigned depth-first starting at ``next_id``.
+    """
+    counts = class_counts(labels, schema.n_classes)
+    node = TreeNode(node_id=next_id, depth=depth, class_counts=counts)
+    if on_node is not None:
+        on_node(int(counts.sum()))
+    if stopping.is_leaf(counts, depth):
+        return node
+    split = find_split_direct(schema, columns, labels, enumerate_limit)
+    if split is None:
+        return node
+    mask = split.goes_left(columns[split.attribute])
+    n_left = int(mask.sum())
+    if n_left == 0 or n_left == len(labels):
+        return node  # degenerate split: nothing to gain
+    parent_gini = 1.0 - float(((counts / counts.sum()) ** 2).sum())
+    if split.gini >= parent_gini:
+        return node  # no impurity decrease
+    node.split = split
+    left_cols = {k: v[mask] for k, v in columns.items()}
+    right_cols = {k: v[~mask] for k, v in columns.items()}
+    node.left = build_subtree_direct(
+        schema,
+        left_cols,
+        labels[mask],
+        stopping,
+        depth=depth + 1,
+        next_id=next_id + 1,
+        enumerate_limit=enumerate_limit,
+        on_node=on_node,
+    )
+    used = _subtree_size(node.left)
+    node.right = build_subtree_direct(
+        schema,
+        right_cols,
+        labels[~mask],
+        stopping,
+        depth=depth + 1,
+        next_id=next_id + 1 + used,
+        enumerate_limit=enumerate_limit,
+        on_node=on_node,
+    )
+    return node
+
+
+def _subtree_size(node: TreeNode) -> int:
+    if node.is_leaf:
+        return 1
+    return 1 + _subtree_size(node.left) + _subtree_size(node.right)
+
+
+def fit_direct(
+    schema: Schema,
+    columns: dict[str, np.ndarray],
+    labels: np.ndarray,
+    stopping: StoppingRule | None = None,
+    enumerate_limit: int = 10,
+) -> DecisionTree:
+    """Convenience: fit an exact in-memory tree (the correctness oracle)."""
+    root = build_subtree_direct(
+        schema,
+        columns,
+        labels,
+        stopping or StoppingRule(),
+        enumerate_limit=enumerate_limit,
+    )
+    return DecisionTree(root=root, schema=schema, meta={"builder": "direct"})

@@ -1,0 +1,254 @@
+"""Gini-index machinery shared by CLOUDS, pCLOUDS and the baselines.
+
+Everything here is a pure function of class-count statistics, so the
+sequential classifier, the parallel statistics exchange and the tests all
+call the same code.
+
+The SSE lower bound exploits convexity: for a fixed interval, the
+*goodness* ``sum_j l_j^2 / nL + sum_j r_j^2 / nR`` is a sum of
+quadratic-over-linear (perspective) functions of the left-count vector
+``l`` and therefore convex; the weighted gini ``1 - goodness/n`` is
+concave. Minimising a concave function over the box
+``l_j in [L_j, L_j + I_j]`` attains its minimum at a vertex, so
+evaluating all ``2^c`` corners yields the exact continuous minimum — a
+true lower bound on the gini of any split realisable inside the interval
+(realisable splits are points of the box).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+__all__ = [
+    "gini_from_counts",
+    "weighted_gini",
+    "boundary_sweep",
+    "best_numeric_split_exact",
+    "best_categorical_split",
+    "gini_lower_bound",
+]
+
+
+def gini_from_counts(counts: np.ndarray) -> np.ndarray | float:
+    """Gini impurity ``1 - sum (n_j/n)^2`` of one or many count vectors.
+
+    ``counts`` has class counts along the last axis; rows with zero total
+    have impurity 0 (an empty partition is pure by convention).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum(axis=-1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frac2 = np.where(
+            total[..., None] > 0, (counts / total[..., None]) ** 2, 0.0
+        ).sum(axis=-1)
+    g = np.where(total > 0, 1.0 - frac2, 0.0)
+    return float(g) if g.ndim == 0 else g
+
+
+def weighted_gini(left: np.ndarray, right: np.ndarray) -> np.ndarray | float:
+    """Size-weighted gini of a binary split; broadcasts over leading axes."""
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    nl = left.sum(axis=-1)
+    nr = right.sum(axis=-1)
+    n = nl + nr
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = np.where(
+            n > 0,
+            (nl * gini_from_counts(left) + nr * gini_from_counts(right))
+            / np.maximum(n, 1),
+            0.0,
+        )
+    return float(g) if g.ndim == 0 else g
+
+
+def boundary_sweep(cum_counts: np.ndarray, total_counts: np.ndarray) -> np.ndarray:
+    """Weighted gini of the split ``x <= boundary_i`` for every boundary.
+
+    ``cum_counts[i]`` are class counts of records with values in intervals
+    ``0..i`` (cumulative histogram); ``total_counts`` are the node's class
+    counts. Returns one gini per boundary.
+    """
+    cum = np.asarray(cum_counts, dtype=np.float64)
+    total = np.asarray(total_counts, dtype=np.float64)
+    return weighted_gini(cum, total[None, :] - cum)
+
+
+def best_numeric_split_exact(
+    values: np.ndarray,
+    labels: np.ndarray,
+    n_classes: int,
+    base_left: np.ndarray | None = None,
+    node_counts: np.ndarray | None = None,
+) -> tuple[float, float] | None:
+    """Exact best threshold for one numeric attribute (the direct method).
+
+    Evaluates the gini of ``x <= v`` at every distinct value ``v`` that
+    leaves at least one record on each side. When scanning an *alive
+    interval* of a larger node, ``base_left`` gives the class counts
+    strictly left of the interval and ``node_counts`` the whole node's
+    counts, so the returned gini is the node-level split gini (and the
+    interval's largest value is then a legal threshold, since later
+    intervals stay right). Returns ``(gini, threshold)`` or None when no
+    split exists.
+    """
+    values = np.asarray(values)
+    labels = np.asarray(labels)
+    n = len(values)
+    if n != len(labels):
+        raise ValueError("values and labels differ in length")
+    if n == 0:
+        return None
+    order = np.argsort(values, kind="stable")
+    v = values[order]
+    lab = labels[order]
+    onehot = np.zeros((n, n_classes), dtype=np.float64)
+    onehot[np.arange(n), lab] = 1.0
+    cum = np.cumsum(onehot, axis=0)
+    if base_left is not None:
+        cum = cum + np.asarray(base_left, dtype=np.float64)[None, :]
+    if node_counts is None:
+        node_counts = cum[-1]
+    node_counts = np.asarray(node_counts, dtype=np.float64)
+    node_n = node_counts.sum()
+    # candidate boundaries: last occurrence of each distinct value
+    distinct_end = np.append(np.flatnonzero(v[:-1] != v[1:]), n - 1)
+    # keep only splits with a non-empty right side at node scope
+    distinct_end = distinct_end[cum[distinct_end].sum(axis=1) < node_n]
+    if distinct_end.size == 0:
+        return None
+    ginis = boundary_sweep(cum[distinct_end], node_counts)
+    k = int(np.argmin(ginis))
+    return float(ginis[k]), float(v[distinct_end[k]])
+
+
+def _two_class_subset(counts: np.ndarray) -> tuple[float, frozenset[int]]:
+    """Optimal subset split for two classes: sort categories by
+    P(class 0 | v); the optimal left set is a prefix (Breiman's theorem)."""
+    total = counts.sum(axis=1)
+    present = np.flatnonzero(total > 0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p0 = counts[present, 0] / total[present]
+    order = present[np.argsort(p0, kind="stable")]
+    cum = np.cumsum(counts[order], axis=0)
+    all_counts = counts.sum(axis=0, dtype=np.float64)
+    ginis = boundary_sweep(cum[:-1], all_counts) if len(order) > 1 else np.array([])
+    if ginis.size == 0:
+        return float("inf"), frozenset()
+    k = int(np.argmin(ginis))
+    return float(ginis[k]), frozenset(int(x) for x in order[: k + 1])
+
+
+def _enumerated_subset(counts: np.ndarray) -> tuple[float, frozenset[int]]:
+    """Exhaustive subset enumeration (2^(V-1)-1 non-trivial splits)."""
+    present = np.flatnonzero(counts.sum(axis=1) > 0)
+    v = len(present)
+    all_counts = counts.sum(axis=0, dtype=np.float64)
+    best = (float("inf"), frozenset())
+    if v < 2:
+        return best
+    # fix the first present value on the right to break the L/R symmetry
+    rest = present[1:]
+    for r in range(1, v):
+        for combo in itertools.combinations(rest, r):
+            left = counts[list(combo)].sum(axis=0, dtype=np.float64)
+            g = weighted_gini(left, all_counts - left)
+            if g < best[0]:
+                best = (float(g), frozenset(int(x) for x in combo))
+    return best
+
+
+def _greedy_subset(counts: np.ndarray) -> tuple[float, frozenset[int]]:
+    """Greedy hill-climbing subset construction (SPRINT's fallback for
+    high-cardinality attributes)."""
+    present = list(np.flatnonzero(counts.sum(axis=1) > 0))
+    all_counts = counts.sum(axis=0, dtype=np.float64)
+    left: set[int] = set()
+    left_counts = np.zeros_like(all_counts)
+    best = (float("inf"), frozenset())
+    while len(left) < len(present) - 1:
+        move_best = None
+        for v in present:
+            if v in left:
+                continue
+            cand = left_counts + counts[v]
+            g = float(weighted_gini(cand, all_counts - cand))
+            if move_best is None or g < move_best[0]:
+                move_best = (g, v)
+        if move_best is None:
+            break
+        g, v = move_best
+        left.add(v)
+        left_counts = left_counts + counts[v]
+        if g < best[0]:
+            best = (g, frozenset(left))
+        else:
+            break  # hill climbing: stop on first non-improving move
+    return best
+
+
+def best_categorical_split(
+    counts: np.ndarray, enumerate_limit: int = 10
+) -> tuple[float, frozenset[int]] | None:
+    """Best subset split for one categorical attribute.
+
+    ``counts`` is the (cardinality, n_classes) count matrix of the node.
+    Two classes use the exact prefix theorem; otherwise full enumeration
+    up to ``enumerate_limit`` present values, greedy beyond. Returns
+    ``(gini, left_codes)`` or None if no split exists.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    present = int((counts.sum(axis=1) > 0).sum())
+    if present < 2:
+        return None
+    if counts.shape[1] == 2:
+        g, s = _two_class_subset(counts)
+    elif present <= enumerate_limit:
+        g, s = _enumerated_subset(counts)
+    else:
+        g, s = _greedy_subset(counts)
+    if not np.isfinite(g):
+        return None
+    return g, s
+
+
+def gini_lower_bound(
+    left_cum: np.ndarray,
+    interval_counts: np.ndarray,
+    total_counts: np.ndarray,
+    corner_limit: int = 16,
+) -> float:
+    """SSE's ``gini_est``: a lower bound on the gini of any split falling
+    strictly inside one interval.
+
+    ``left_cum`` — class counts strictly left of the interval;
+    ``interval_counts`` — class counts inside it; ``total_counts`` — the
+    node's counts. Exact (vertex enumeration of the concave minimisation)
+    for up to ``corner_limit`` classes; beyond that a vertex local search
+    is used and the result is a heuristic estimate, as in CLOUDS.
+    """
+    L = np.asarray(left_cum, dtype=np.float64)
+    I = np.asarray(interval_counts, dtype=np.float64)
+    T = np.asarray(total_counts, dtype=np.float64)
+    c = L.shape[0]
+    if not (I.shape == (c,) and T.shape == (c,)):
+        raise ValueError("class-count vectors must share one shape")
+    if c <= corner_limit:
+        corners = np.array(list(itertools.product((0.0, 1.0), repeat=c)))
+        lefts = L[None, :] + corners * I[None, :]
+        return float(np.min(weighted_gini(lefts, T[None, :] - lefts)))
+    # vertex local search: flip one coordinate at a time while improving
+    a = np.zeros(c)
+    best = float(weighted_gini(L, T - L))
+    improved = True
+    while improved:
+        improved = False
+        for j in range(c):
+            b = a.copy()
+            b[j] = I[j] - b[j] if b[j] == 0 else 0.0
+            g = float(weighted_gini(L + b, T - L - b))
+            if g < best:
+                best, a, improved = g, b, True
+    return best

@@ -1,0 +1,98 @@
+"""Interval construction and histogramming for the SS/SSE methods.
+
+CLOUDS divides each numeric attribute's range into ``q`` intervals holding
+approximately equal numbers of points, using boundaries estimated from a
+pre-drawn random sample (Section 4.1.1). A record with value ``v`` falls
+in interval ``i`` iff ``b_{i-1} < v <= b_i`` (``b_0 = -inf``,
+``b_q = +inf``), so the split "``x <= b_i``" keeps intervals ``0..i`` on
+the left.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "boundaries_from_sample",
+    "interval_index",
+    "interval_histogram",
+    "class_counts",
+    "categorical_count_matrix",
+    "scale_q",
+]
+
+
+def boundaries_from_sample(sample: np.ndarray, q: int) -> np.ndarray:
+    """Equal-frequency interval boundaries estimated from a sample.
+
+    Returns at most ``q-1`` strictly increasing boundary values (fewer
+    when the sample has few distinct values). An empty or constant sample
+    yields no boundaries (one interval covering everything).
+    """
+    if q < 1:
+        raise ValueError(f"need at least one interval, got q={q}")
+    sample = np.asarray(sample, dtype=np.float64)
+    if sample.size == 0 or q == 1:
+        return np.empty(0, dtype=np.float64)
+    probs = np.arange(1, q) / q
+    # order statistics of the sample (not interpolated values), so every
+    # boundary is a realisable splitting point of the data
+    bounds = np.quantile(sample, probs, method="lower")
+    return np.unique(bounds)
+
+
+def interval_index(values: np.ndarray, boundaries: np.ndarray) -> np.ndarray:
+    """Interval number of each value (0..len(boundaries)); values equal to
+    a boundary land in the interval to its left."""
+    return np.searchsorted(boundaries, np.asarray(values), side="left")
+
+
+def interval_histogram(
+    values: np.ndarray,
+    labels: np.ndarray,
+    boundaries: np.ndarray,
+    n_classes: int,
+) -> np.ndarray:
+    """(n_intervals, n_classes) class-frequency histogram of one column.
+
+    This is the per-interval statistics vector the replication method
+    keeps per attribute per processor; local histograms from data chunks
+    simply add.
+    """
+    q = len(boundaries) + 1
+    idx = interval_index(values, boundaries)
+    flat = np.bincount(
+        idx.astype(np.int64) * n_classes + np.asarray(labels, dtype=np.int64),
+        minlength=q * n_classes,
+    )
+    return flat.reshape(q, n_classes).astype(np.int64)
+
+
+def class_counts(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Class-frequency vector of a label array."""
+    return np.bincount(np.asarray(labels, dtype=np.int64), minlength=n_classes).astype(
+        np.int64
+    )
+
+
+def categorical_count_matrix(
+    codes: np.ndarray, labels: np.ndarray, cardinality: int, n_classes: int
+) -> np.ndarray:
+    """(cardinality, n_classes) count matrix of one categorical column."""
+    flat = np.bincount(
+        np.asarray(codes, dtype=np.int64) * n_classes
+        + np.asarray(labels, dtype=np.int64),
+        minlength=cardinality * n_classes,
+    )
+    return flat.reshape(cardinality, n_classes).astype(np.int64)
+
+
+def scale_q(q_root: int, n_node: int, n_root: int, q_min: int = 2) -> int:
+    """Number of intervals for a node of ``n_node`` records.
+
+    The paper notes "the value of q decreases as the node size decreases
+    (as in CLOUDS)"; scaling q proportionally to node size keeps the
+    expected interval population constant."""
+    if n_root <= 0:
+        return q_min
+    return max(q_min, int(round(q_root * (n_node / n_root))))

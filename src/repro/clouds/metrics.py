@@ -1,0 +1,90 @@
+"""Classifier evaluation helpers: accuracy, confusion matrices,
+compactness — the qualities the CLOUDS papers compare against SPRINT."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tree import DecisionTree
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "confusion_matrix",
+    "train_test_split",
+    "evaluate_tree",
+    "TreeQuality",
+]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of matching labels (1.0 for empty input)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays differ in shape")
+    if y_true.size == 0:
+        return 1.0
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """(n_classes, n_classes) matrix; rows = true class, cols = predicted."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    return (
+        np.bincount(y_true * n_classes + y_pred, minlength=n_classes * n_classes)
+        .reshape(n_classes, n_classes)
+        .astype(np.int64)
+    )
+
+
+def train_test_split(
+    columns: dict[str, np.ndarray],
+    labels: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[dict, np.ndarray, dict, np.ndarray]:
+    """Random split into (train_cols, train_labels, test_cols, test_labels)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0,1), got {test_fraction}")
+    n = len(labels)
+    perm = np.random.default_rng(seed).permutation(n)
+    cut = int(round(n * (1.0 - test_fraction)))
+    tr, te = perm[:cut], perm[cut:]
+    return (
+        {k: v[tr] for k, v in columns.items()},
+        labels[tr],
+        {k: v[te] for k, v in columns.items()},
+        labels[te],
+    )
+
+
+@dataclass(frozen=True)
+class TreeQuality:
+    """Accuracy + compactness summary of one fitted tree."""
+
+    accuracy: float
+    n_nodes: int
+    n_leaves: int
+    depth: int
+
+
+def evaluate_tree(
+    tree: DecisionTree, columns: dict[str, np.ndarray], labels: np.ndarray
+) -> TreeQuality:
+    """Accuracy of ``tree`` on a test fragment plus its size statistics."""
+    return TreeQuality(
+        accuracy=accuracy(labels, tree.predict(columns)),
+        n_nodes=tree.n_nodes,
+        n_leaves=tree.n_leaves,
+        depth=tree.depth,
+    )

@@ -1,0 +1,69 @@
+"""Split descriptors shared by all classifiers in the package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+NUMERIC_SPLIT = "numeric"
+CATEGORICAL_SPLIT = "categorical"
+
+
+@dataclass(frozen=True)
+class Split:
+    """A binary splitter: ``x <= threshold`` (numeric) or
+    ``code in left_codes`` (categorical) routes a record left."""
+
+    attribute: str
+    kind: str
+    gini: float
+    threshold: float | None = None
+    left_codes: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind == NUMERIC_SPLIT:
+            if self.threshold is None:
+                raise ValueError("numeric split needs a threshold")
+        elif self.kind == CATEGORICAL_SPLIT:
+            if not self.left_codes:
+                raise ValueError("categorical split needs a non-empty left set")
+        else:
+            raise ValueError(f"unknown split kind {self.kind!r}")
+
+    def goes_left(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of records routed to the left child."""
+        values = np.asarray(values)
+        if self.kind == NUMERIC_SPLIT:
+            return values <= self.threshold
+        return np.isin(values, np.fromiter(self.left_codes, dtype=values.dtype))
+
+    def describe(self) -> str:
+        if self.kind == NUMERIC_SPLIT:
+            return f"{self.attribute} <= {self.threshold:.6g}"
+        return f"{self.attribute} in {sorted(self.left_codes)}"
+
+    def order_key(self) -> tuple:
+        """Total order over splits used to break exact gini ties, so every
+        code path (sequential direct, SS/SSE, the parallel minloc
+        election) converges on the same winner."""
+        return (
+            self.attribute,
+            self.kind,
+            self.threshold if self.threshold is not None else 0.0,
+            tuple(sorted(self.left_codes)) if self.left_codes else (),
+        )
+
+
+def better(a: Split | None, b: Split | None) -> Split | None:
+    """The lower-gini of two optional splits; exact gini ties resolve by
+    the deterministic :meth:`Split.order_key` (not call order)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if b.gini < a.gini:
+        return b
+    if b.gini == a.gini and b.order_key() < a.order_key():
+        return b
+    return a

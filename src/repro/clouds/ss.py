@@ -1,0 +1,68 @@
+"""The SS method: sampling the splitting points (Section 4.1.1).
+
+Gini indices are evaluated only at the interval boundaries of every
+numeric attribute (plus all categorical splits); the best of those is the
+node's splitter. One pass over the data suffices — the pass that built
+the :class:`~repro.clouds.nodestats.NodeStats`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Schema
+
+from .gini import best_categorical_split, boundary_sweep
+from .nodestats import NodeStats
+from .splits import CATEGORICAL_SPLIT, NUMERIC_SPLIT, Split, better
+
+__all__ = ["find_split_ss", "best_boundary_split", "best_categorical_splits"]
+
+
+def best_boundary_split(name: str, stats: NodeStats) -> Split | None:
+    """Best interval-boundary split of one numeric attribute."""
+    ns = stats.numeric[name]
+    if ns.boundaries.size == 0:
+        return None
+    cum = ns.cumulative()
+    # skip degenerate boundaries (everything on one side)
+    sizes = cum.sum(axis=1)
+    valid = (sizes > 0) & (sizes < stats.n)
+    if not valid.any():
+        return None
+    ginis = boundary_sweep(cum, stats.total)
+    ginis = np.where(valid, ginis, np.inf)
+    k = int(np.argmin(ginis))
+    return Split(
+        attribute=name,
+        kind=NUMERIC_SPLIT,
+        gini=float(ginis[k]),
+        threshold=float(ns.boundaries[k]),
+    )
+
+
+def best_categorical_splits(
+    stats: NodeStats, schema: Schema, enumerate_limit: int = 10
+) -> Split | None:
+    """Best subset split across all categorical attributes."""
+    best: Split | None = None
+    for a in schema.categorical:
+        res = best_categorical_split(stats.categorical[a.name], enumerate_limit)
+        if res is None:
+            continue
+        g, left = res
+        best = better(
+            best,
+            Split(attribute=a.name, kind=CATEGORICAL_SPLIT, gini=g, left_codes=left),
+        )
+    return best
+
+
+def find_split_ss(
+    stats: NodeStats, schema: Schema, enumerate_limit: int = 10
+) -> Split | None:
+    """gini_min over categorical splits and numeric interval boundaries."""
+    best = best_categorical_splits(stats, schema, enumerate_limit)
+    for a in schema.numeric:
+        best = better(best, best_boundary_split(a.name, stats))
+    return best

@@ -1,0 +1,217 @@
+"""Decision-tree structure shared by every builder in the package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.schema import LABEL_DTYPE, Schema
+
+from .splits import CATEGORICAL_SPLIT, NUMERIC_SPLIT, Split
+
+
+@dataclass
+class TreeNode:
+    """One node; internal when ``split`` is set, else a leaf.
+
+    ``class_counts`` are the training-set counts that reached the node;
+    ``label`` the majority class (ties to the lowest code).
+    """
+
+    node_id: int
+    depth: int
+    class_counts: np.ndarray
+    split: Split | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+
+    @property
+    def n(self) -> int:
+        return int(self.class_counts.sum())
+
+    @property
+    def label(self) -> int:
+        return int(np.argmax(self.class_counts))
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.split is None
+
+    @property
+    def errors(self) -> int:
+        """Training records at this node not of the majority class."""
+        return self.n - int(self.class_counts.max()) if self.n else 0
+
+    def to_leaf(self) -> None:
+        """Collapse the subtree (pruning)."""
+        self.split = None
+        self.left = None
+        self.right = None
+
+
+@dataclass
+class DecisionTree:
+    """A fitted classifier: a root node plus its schema."""
+
+    root: TreeNode
+    schema: Schema
+    meta: dict = field(default_factory=dict)
+
+    # -- structure ----------------------------------------------------------
+    def iter_nodes(self) -> Iterator[TreeNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for n in self.iter_nodes() if n.is_leaf)
+
+    @property
+    def depth(self) -> int:
+        return max(n.depth for n in self.iter_nodes())
+
+    # -- inference ----------------------------------------------------------
+    def predict(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Vectorised prediction for a column dict."""
+        n = len(next(iter(columns.values()))) if columns else 0
+        out = np.empty(n, dtype=LABEL_DTYPE)
+        idx = np.arange(n)
+
+        def route(node: TreeNode, rows: np.ndarray) -> None:
+            if rows.size == 0:
+                return
+            if node.is_leaf:
+                out[rows] = node.label
+                return
+            mask = node.split.goes_left(columns[node.split.attribute][rows])
+            route(node.left, rows[mask])
+            route(node.right, rows[~mask])
+
+        route(self.root, idx)
+        return out
+
+    # -- serialisation ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (for logging / cross-process
+        assembly)."""
+        return {"root": encode_node(self.root), "n_classes": self.schema.n_classes}
+
+    @classmethod
+    def from_dict(cls, data: dict, schema: Schema) -> "DecisionTree":
+        return cls(root=decode_node(data["root"]), schema=schema)
+
+    def save(self, path: str) -> None:
+        """Write the tree as JSON (the wire format of :meth:`to_dict`)."""
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh)
+
+    @classmethod
+    def load(cls, path: str, schema: Schema) -> "DecisionTree":
+        """Read a tree written by :meth:`save`."""
+        import json
+
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh), schema)
+
+    def describe(self, max_depth: int | None = None) -> str:
+        """Human-readable sketch of the tree."""
+        lines: list[str] = []
+
+        def walk(node: TreeNode, indent: int) -> None:
+            pad = "  " * indent
+            if max_depth is not None and node.depth > max_depth:
+                lines.append(f"{pad}...")
+                return
+            if node.is_leaf:
+                lines.append(f"{pad}leaf label={node.label} n={node.n}")
+            else:
+                lines.append(f"{pad}{node.split.describe()} (n={node.n})")
+                walk(node.left, indent + 1)
+                walk(node.right, indent + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+def encode_node(node: TreeNode) -> dict:
+    """JSON-serialisable encoding of one subtree (the wire format the
+    parallel small-node phase ships subtrees with)."""
+    d: dict = {
+        "node_id": node.node_id,
+        "depth": node.depth,
+        "class_counts": node.class_counts.tolist(),
+    }
+    if not node.is_leaf:
+        s = node.split
+        d["split"] = {
+            "attribute": s.attribute,
+            "kind": s.kind,
+            "gini": s.gini,
+            "threshold": s.threshold,
+            "left_codes": sorted(s.left_codes) if s.left_codes else None,
+        }
+        d["left"] = encode_node(node.left)
+        d["right"] = encode_node(node.right)
+    return d
+
+
+def decode_node(d: dict) -> TreeNode:
+    """Inverse of :func:`encode_node`."""
+    node = TreeNode(
+        node_id=d["node_id"],
+        depth=d["depth"],
+        class_counts=np.asarray(d["class_counts"], dtype=np.int64),
+    )
+    if "split" in d:
+        s = d["split"]
+        node.split = Split(
+            attribute=s["attribute"],
+            kind=s["kind"],
+            gini=s["gini"],
+            threshold=s["threshold"],
+            left_codes=(frozenset(s["left_codes"]) if s["left_codes"] else None),
+        )
+        node.left = decode_node(d["left"])
+        node.right = decode_node(d["right"])
+    return node
+
+
+def validate_tree(tree: DecisionTree) -> None:
+    """Structural invariants used by tests and asserted after parallel
+    assembly: child counts sum to the parent's, depths increase by one,
+    node ids are unique, splits reference schema attributes."""
+    seen: set[int] = set()
+    for node in tree.iter_nodes():
+        if node.node_id in seen:
+            raise AssertionError(f"duplicate node id {node.node_id}")
+        seen.add(node.node_id)
+        if node.is_leaf:
+            continue
+        if node.left is None or node.right is None:
+            raise AssertionError(f"internal node {node.node_id} missing children")
+        if node.left.depth != node.depth + 1 or node.right.depth != node.depth + 1:
+            raise AssertionError(f"bad child depth under node {node.node_id}")
+        if not np.array_equal(
+            node.left.class_counts + node.right.class_counts, node.class_counts
+        ):
+            raise AssertionError(f"child counts do not sum at node {node.node_id}")
+        attr = tree.schema.attribute(node.split.attribute)
+        expected = NUMERIC_SPLIT if attr.is_numeric else CATEGORICAL_SPLIT
+        if node.split.kind != expected:
+            raise AssertionError(
+                f"split kind {node.split.kind} does not match attribute "
+                f"{attr.name} at node {node.node_id}"
+            )

@@ -1,0 +1,43 @@
+"""Simulated coarse-grained parallel machine (Section 2 of the paper).
+
+Real SPMD execution over analytic cost models: each rank is a thread with
+its own simulated clock, local disk and memory budget; communication goes
+through an MPI-like :class:`Comm` whose primitives charge the Table-1
+hypercube costs.
+"""
+
+from .clock import PhaseTimer, SimClock
+from .comm import Comm, Request, payload_nbytes
+from .compute import ComputeModel
+from .diskmodel import DiskModel
+from .errors import (
+    ClusterAborted,
+    ClusterError,
+    CommMismatchError,
+    DeadlockError,
+    SpmdProgramError,
+)
+from .machine import Cluster, RankContext, SpmdRun
+from .network import NetworkModel
+from .stats import RankStats, RunStats
+
+__all__ = [
+    "Cluster",
+    "ClusterAborted",
+    "ClusterError",
+    "Comm",
+    "Request",
+    "CommMismatchError",
+    "ComputeModel",
+    "DeadlockError",
+    "DiskModel",
+    "NetworkModel",
+    "PhaseTimer",
+    "RankContext",
+    "RankStats",
+    "RunStats",
+    "SimClock",
+    "SpmdProgramError",
+    "SpmdRun",
+    "payload_nbytes",
+]

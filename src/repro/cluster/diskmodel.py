@@ -1,0 +1,44 @@
+"""Cost model for one local disk of a shared-nothing node.
+
+The paper assumes each processor owns a disk it controls independently
+(Section 2). We model each access as one seek plus a bandwidth-limited
+transfer; sequential multi-block transfers pay the seek once, which is how
+the chunked out-of-core files in :mod:`repro.ooc` access the device.
+
+Defaults approximate a mid-1990s SCSI disk (~10 ms seek, ~8 MB/s sustained),
+which keeps I/O the dominant cost for out-of-core nodes exactly as the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Seek + streaming-bandwidth disk."""
+
+    seek: float = 10e-3
+    bandwidth: float = 8e6  # bytes / second sustained
+    block: int = 64 * 1024  # allocation/transfer granularity in bytes
+
+    def access(self, nbytes: int, *, sequential: bool = True) -> float:
+        """Time to read or write ``nbytes`` in one request.
+
+        A sequential request pays one seek; a non-sequential request pays a
+        seek per block (scattered access), which penalises algorithms that
+        hop around the file the way Vitter's EM model does.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative I/O size {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        nblocks = max(1, -(-nbytes // self.block))
+        seeks = 1 if sequential else nblocks
+        return self.seek * seeks + nbytes / self.bandwidth
+
+    def scan_rate(self) -> float:
+        """Effective bytes/second for long sequential scans (seek amortised
+        away); handy for analytic cross-checks in tests."""
+        return self.bandwidth

@@ -1,0 +1,42 @@
+"""Exception types for the simulated coarse-grained machine."""
+
+from __future__ import annotations
+
+
+class ClusterError(Exception):
+    """Base class for all simulated-cluster failures."""
+
+
+class SpmdProgramError(ClusterError):
+    """A rank's program raised; carries the originating rank.
+
+    The cluster aborts every other rank (their next communication call
+    raises :class:`ClusterAborted`) and re-raises the first failure wrapped
+    in this type so callers see a single, attributable error.
+    """
+
+    def __init__(self, rank: int, cause: BaseException):
+        self.rank = rank
+        self.cause = cause
+        super().__init__(f"rank {rank} failed: {cause!r}")
+
+
+class ClusterAborted(ClusterError):
+    """Raised inside surviving ranks when a peer rank has failed."""
+
+
+class CommMismatchError(ClusterError):
+    """Ranks disagreed on the collective being executed.
+
+    Every rank must reach the same sequence of collective call sites; a
+    mismatch means the SPMD program has divergent control flow, which on a
+    real machine would deadlock. We fail fast with a diagnostic instead.
+    """
+
+
+class DeadlockError(ClusterError):
+    """A blocking communication call timed out.
+
+    On the simulated machine this (almost) always indicates an SPMD
+    program whose ranks diverged, e.g. one rank exited a loop early.
+    """

@@ -1,0 +1,206 @@
+"""The simulated coarse-grained machine: SPMD launcher and rank contexts.
+
+:class:`Cluster` models the paper's platform (Section 2): p processors,
+each with its own memory budget and local disk, connected by a
+cut-through-routed network. ``Cluster.run(program)`` launches one thread
+per rank; each thread executes ``program(ctx, *args, **kwargs)`` against
+its :class:`RankContext`. All cross-rank time relationships flow through
+the communicator, so the *simulated* elapsed time (max over the ranks'
+final clocks) is deterministic regardless of host thread scheduling.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .clock import PhaseTimer, SimClock
+from .comm import Comm, CommWorld
+from .compute import ComputeModel
+from .diskmodel import DiskModel
+from .errors import ClusterAborted, SpmdProgramError
+from .network import NetworkModel
+from .stats import RankStats, RunStats
+
+if TYPE_CHECKING:  # ooc imports cluster's cost models; keep runtime import lazy
+    from repro.ooc.backend import StorageBackend
+
+
+class RankContext:
+    """Everything one simulated processor owns.
+
+    Attributes
+    ----------
+    rank, size : position in the machine.
+    clock : simulated time.
+    comm : MPI-like communicator bound to this rank.
+    disk : the node's local disk (charges the clock).
+    memory : per-node main-memory budget.
+    rng : per-rank numpy Generator, seeded from (cluster seed, rank).
+    stats : resource counters.
+    timer : phase attribution of simulated time.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        world: CommWorld,
+        *,
+        compute: ComputeModel,
+        disk_model: DiskModel,
+        memory_limit: int | None,
+        backend: "StorageBackend | None",
+        seed: int,
+    ) -> None:
+        from repro.ooc.disk import LocalDisk
+        from repro.ooc.memory import MemoryBudget
+
+        self.rank = rank
+        self.size = world.size
+        self.clock = SimClock()
+        self.stats = RankStats()
+        self.compute = compute
+        self.comm = Comm(world, rank, self)
+        self.disk = LocalDisk(disk_model, self.clock, self.stats, backend)
+        self.memory = MemoryBudget(limit=memory_limit)
+        self.rng = np.random.default_rng(np.random.SeedSequence([seed, rank]))
+        self.timer = PhaseTimer(self.clock)
+
+    def charge_compute(self, ops: float = 0.0, seconds: float = 0.0) -> None:
+        """Charge local CPU work, by op count and/or directly in seconds."""
+        dt = seconds + (self.compute.cost(ops) if ops else 0.0)
+        if dt:
+            self.clock.advance(dt)
+            self.stats.compute_time += dt
+
+    def charge_sort(self, n: int) -> None:
+        """Charge a comparison sort of n keys."""
+        self.charge_compute(seconds=self.compute.sort(n))
+
+
+@dataclass
+class SpmdRun:
+    """Outcome of one ``Cluster.run``: per-rank return values, the
+    simulated elapsed time, and resource statistics."""
+
+    results: list[Any]
+    elapsed: float
+    stats: RunStats
+    phase_times: list[dict[str, float]] = field(default_factory=list)
+
+    @property
+    def result(self) -> Any:
+        """Rank 0's return value (SPMD programs usually assemble there)."""
+        return self.results[0]
+
+
+class Cluster:
+    """A p-processor shared-nothing machine with analytic cost models."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        *,
+        network: NetworkModel | None = None,
+        disk: DiskModel | None = None,
+        compute: ComputeModel | None = None,
+        memory_limit: int | None = None,
+        backend_factory: Callable[[], StorageBackend] | None = None,
+        seed: int = 0,
+        timeout: float = 300.0,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"need at least one rank, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.network = network or NetworkModel()
+        self.disk_model = disk or DiskModel()
+        self.compute = compute or ComputeModel()
+        self.memory_limit = memory_limit
+        self.backend_factory = backend_factory
+        self.seed = seed
+        self.timeout = timeout
+
+    def make_contexts(self) -> list[RankContext]:
+        """Fresh rank contexts sharing one communication world (exposed so
+        callers can pre-load disks and then run several programs against
+        the same machine state)."""
+        world = CommWorld(self.n_ranks, self.network, self.timeout)
+        return [
+            RankContext(
+                r,
+                world,
+                compute=self.compute,
+                disk_model=self.disk_model,
+                memory_limit=self.memory_limit,
+                backend=self.backend_factory() if self.backend_factory else None,
+                seed=self.seed,
+            )
+            for r in range(self.n_ranks)
+        ]
+
+    def run(
+        self,
+        program: Callable[..., Any],
+        *args: Any,
+        contexts: list[RankContext] | None = None,
+        reset_clocks: bool = True,
+        **kwargs: Any,
+    ) -> SpmdRun:
+        """Execute ``program(ctx, *args, **kwargs)`` on every rank.
+
+        ``contexts`` reuses machine state from :meth:`make_contexts`
+        (disks keep their files); by default clocks restart at zero so the
+        run's elapsed time measures only this program.
+        """
+        ctxs = contexts if contexts is not None else self.make_contexts()
+        if len(ctxs) != self.n_ranks:
+            raise ValueError("context list does not match cluster size")
+        if reset_clocks:
+            for c in ctxs:
+                c.clock.now = 0.0
+        world = ctxs[0].comm._world
+        results: list[Any] = [None] * self.n_ranks
+        failures: list[tuple[int, BaseException]] = []
+        failure_lock = threading.Lock()
+
+        def runner(ctx: RankContext) -> None:
+            try:
+                results[ctx.rank] = program(ctx, *args, **kwargs)
+            except ClusterAborted:
+                pass  # secondary casualty of another rank's failure
+            except BaseException as exc:  # noqa: BLE001 - must propagate all
+                with failure_lock:
+                    failures.append((ctx.rank, exc))
+                world.abort()
+
+        if self.n_ranks == 1:
+            runner(ctxs[0])
+        else:
+            threads = [
+                threading.Thread(
+                    target=runner, args=(c,), name=f"rank-{c.rank}", daemon=True
+                )
+                for c in ctxs
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        if failures:
+            rank, exc = min(failures, key=lambda f: f[0])
+            raise SpmdProgramError(rank, exc) from exc
+
+        for c in ctxs:
+            c.timer.stop()
+        return SpmdRun(
+            results=results,
+            elapsed=max(c.clock.now for c in ctxs),
+            stats=RunStats(per_rank=[c.stats for c in ctxs]),
+            phase_times=[c.timer.snapshot() for c in ctxs],
+        )

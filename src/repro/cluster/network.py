@@ -1,0 +1,86 @@
+"""Communication cost model for a cut-through routed hypercube.
+
+The paper (Table 1) models a p-processor hypercube with cut-through
+routing; sending one message of m units costs ``alpha + beta*m`` where
+``alpha`` is the per-message startup (handshake) time and ``beta`` the
+inverse bandwidth. The collective formulas below are the standard ones
+from Kumar et al., *Introduction to Parallel Computing*, which the paper
+cites; the paper notes the analysis is the same for the IBM SP's
+permutation network.
+
+All message sizes ``m`` are in **bytes**. Every formula is exposed as a
+method so the benchmark for Table 1 can sweep (m, p) and print the modelled
+scaling, and so alternative network models can be dropped in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _log2p(p: int) -> float:
+    """ceil(log2 p) with log2(1) == 0; collective latency factor."""
+    if p < 1:
+        raise ValueError(f"need at least one processor, got p={p}")
+    return float(math.ceil(math.log2(p))) if p > 1 else 0.0
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Cut-through hypercube network with startup ``alpha`` and inverse
+    bandwidth ``beta``.
+
+    Defaults are calibrated to a mid-1990s MPP (IBM SP2-class): ~40 us
+    message startup and ~35 MB/s point-to-point bandwidth.
+    """
+
+    alpha: float = 40e-6
+    beta: float = 1.0 / 35e6
+
+    # -- point to point ----------------------------------------------------
+    def p2p(self, m: float) -> float:
+        """One message of m bytes between any two nodes (cut-through:
+        distance-independent to first order)."""
+        return self.alpha + self.beta * m
+
+    # -- collectives (Table 1 of the paper) --------------------------------
+    def broadcast(self, m: float, p: int) -> float:
+        """One-to-all broadcast of m bytes: (alpha + beta*m) * log p."""
+        return (self.alpha + self.beta * m) * _log2p(p)
+
+    def all_to_all_broadcast(self, m: float, p: int) -> float:
+        """All-to-all broadcast (allgather), m bytes contributed per rank:
+        alpha*log p + beta*m*(p-1)."""
+        return self.alpha * _log2p(p) + self.beta * m * max(p - 1, 0)
+
+    def gather(self, m: float, p: int) -> float:
+        """Gather m bytes from every rank at one root:
+        alpha*log p + beta*m*p (Table 1)."""
+        return self.alpha * _log2p(p) + self.beta * m * p
+
+    def global_combine(self, m: float, p: int) -> float:
+        """Reduction/allreduce of an m-byte vector: alpha*log p + beta*m
+        (Table 1; recursive halving/doubling makes the bandwidth term
+        independent of p to first order)."""
+        return self.alpha * _log2p(p) + self.beta * m
+
+    def prefix_sum(self, m: float, p: int) -> float:
+        """Parallel prefix (scan) of an m-byte vector: alpha*log p + beta*m
+        (Table 1)."""
+        return self.alpha * _log2p(p) + self.beta * m
+
+    def all_to_all_personalized(self, m: float, p: int) -> float:
+        """All-to-all personalized exchange, m bytes per (src,dst) pair:
+        (alpha + beta*m) * (p-1) for cut-through routed hypercubes using
+        pairwise exchange."""
+        return (self.alpha + self.beta * m) * max(p - 1, 0)
+
+    def alltoallv(self, total_out: float, total_in: float, p: int) -> float:
+        """Irregular all-to-all as seen by one rank.
+
+        Modelled as p-1 startups plus the larger of the bytes this rank
+        injects and drains (links are full-duplex; the busiest direction
+        bounds the time).
+        """
+        return self.alpha * max(p - 1, 0) + self.beta * max(total_out, total_in)

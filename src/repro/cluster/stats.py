@@ -1,0 +1,72 @@
+"""Per-rank resource counters.
+
+Every simulated cost charged to a rank's clock is also recorded here, so
+benchmarks and tests can assert on *volumes* (bytes read, messages sent)
+independently of the time model. pCLOUDS' load-balance claims are checked
+against these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RankStats:
+    """Counters for one rank of one SPMD run."""
+
+    compute_time: float = 0.0
+    io_time: float = 0.0
+    comm_time: float = 0.0
+    idle_time: float = 0.0  # waiting at synchronisation points
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    io_calls: int = 0
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    collectives: int = 0
+
+    def merge(self, other: "RankStats") -> "RankStats":
+        """Elementwise sum (used to aggregate across ranks)."""
+        out = RankStats()
+        for f in self.__dataclass_fields__:
+            setattr(out, f, getattr(self, f) + getattr(other, f))
+        return out
+
+    def busy_time(self) -> float:
+        """Simulated time spent doing work rather than waiting."""
+        return self.compute_time + self.io_time + self.comm_time
+
+    def as_dict(self) -> dict[str, float]:
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
+
+@dataclass
+class RunStats:
+    """Aggregated view over all ranks of one SPMD run."""
+
+    per_rank: list[RankStats] = field(default_factory=list)
+
+    @property
+    def total(self) -> RankStats:
+        agg = RankStats()
+        for s in self.per_rank:
+            agg = agg.merge(s)
+        return agg
+
+    def imbalance(self, attr: str = "busy_time") -> float:
+        """max/mean ratio of a counter across ranks (1.0 = perfect balance).
+
+        ``attr`` may name a field or the ``busy_time`` method.
+        """
+        vals = []
+        for s in self.per_rank:
+            v = getattr(s, attr)
+            vals.append(v() if callable(v) else v)
+        mean = sum(vals) / len(vals) if vals else 0.0
+        if mean == 0.0:
+            return 1.0
+        return max(vals) / mean

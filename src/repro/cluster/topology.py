@@ -1,0 +1,51 @@
+"""Hypercube topology helpers.
+
+The cost model (cut-through routing) makes message time distance-
+independent to first order, so the algorithms never route explicitly; the
+helpers here exist for the Table-1 benchmark, for tests of the model's
+structural assumptions, and for users who want to reason about embeddings.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def hypercube_dimension(p: int) -> int:
+    """Smallest d with 2**d >= p."""
+    if p < 1:
+        raise ValueError(f"need at least one processor, got {p}")
+    return max(0, math.ceil(math.log2(p)))
+
+
+def is_power_of_two(p: int) -> bool:
+    return p >= 1 and (p & (p - 1)) == 0
+
+
+def neighbours(rank: int, p: int) -> list[int]:
+    """Hypercube neighbours of ``rank`` among p = 2**d processors."""
+    if not is_power_of_two(p):
+        raise ValueError(f"hypercube requires power-of-two p, got {p}")
+    if not 0 <= rank < p:
+        raise ValueError(f"rank {rank} out of range for p={p}")
+    return [rank ^ (1 << i) for i in range(hypercube_dimension(p))]
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of hops between nodes a and b of a hypercube."""
+    return bin(a ^ b).count("1")
+
+
+def subcube_partition(p: int, groups: int) -> list[list[int]]:
+    """Split p ranks into ``groups`` contiguous subcubes (task parallelism
+    assigns subtasks to processor subgroups; contiguous ranges are subcubes
+    when both counts are powers of two)."""
+    if groups < 1 or groups > p:
+        raise ValueError(f"cannot split {p} ranks into {groups} groups")
+    base, extra = divmod(p, groups)
+    out, start = [], 0
+    for g in range(groups):
+        size = base + (1 if g < extra else 0)
+        out.append(list(range(start, start + size)))
+        start += size
+    return out

@@ -1,0 +1,138 @@
+"""Event tracing for the simulated machine.
+
+A :class:`Tracer` attached to a rank context records every communication
+event (primitive name, payload bytes, simulated start/end). Two uses:
+
+* debugging SPMD programs — dump a rank's timeline;
+* verifying the SPMD contract — all ranks of a correct program execute
+  the *same sequence of collectives*; :func:`assert_schedules_match`
+  checks it, and the test-suite runs pCLOUDS under it.
+
+Tracing is opt-in (``Cluster.run`` is unaffected); wrap contexts with
+:func:`attach_tracers` before running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .comm import Comm, payload_nbytes
+from .machine import RankContext
+
+__all__ = ["CommEvent", "Tracer", "attach_tracers", "assert_schedules_match"]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One traced communication call."""
+
+    op: str  # primitive name ("allgather", "send", ...)
+    nbytes: int  # payload size this rank contributed
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class Tracer:
+    """Per-rank event log."""
+
+    rank: int
+    events: list[CommEvent] = field(default_factory=list)
+
+    def record(self, op: str, nbytes: int, t_start: float, t_end: float) -> None:
+        self.events.append(CommEvent(op, int(nbytes), t_start, t_end))
+
+    def schedule(self) -> list[str]:
+        """The ordered collective-op sequence (p2p excluded: sends and
+        receives legitimately differ across ranks)."""
+        return [e.op for e in self.events if e.op not in ("send", "recv")]
+
+    def timeline(self) -> str:
+        """Human-readable dump."""
+        lines = [f"rank {self.rank}: {len(self.events)} comm events"]
+        for e in self.events:
+            lines.append(
+                f"  [{e.t_start:10.4f} - {e.t_end:10.4f}] {e.op:<10} {e.nbytes} B"
+            )
+        return "\n".join(lines)
+
+    def total_comm_bytes(self) -> int:
+        return sum(e.nbytes for e in self.events)
+
+
+class _TracingComm(Comm):
+    """Comm wrapper that logs each primitive around the real call."""
+
+    _TRACED = (
+        "barrier",
+        "bcast",
+        "gather",
+        "allgather",
+        "reduce",
+        "allreduce",
+        "allreduce_minloc",
+        "scan",
+        "alltoall",
+        "send",
+        "recv",
+        "split",
+    )
+
+    def __init__(self, inner: Comm, tracer: Tracer) -> None:
+        self._world = inner._world
+        self.rank = inner.rank
+        self.size = inner.size
+        self._ctx = inner._ctx
+        self.parent_ranks = inner.parent_ranks
+        self._tracer = tracer
+
+    def __getattribute__(self, name: str):
+        if name in _TracingComm._TRACED:
+            real = Comm.__dict__[name].__get__(self, Comm)
+            tracer = object.__getattribute__(self, "_tracer")
+            ctx = object.__getattribute__(self, "_ctx")
+
+            def traced(*args: Any, **kwargs: Any):
+                t0 = ctx.clock.now
+                nbytes = payload_nbytes(args[0]) if args else 0
+                out = real(*args, **kwargs)
+                tracer.record(name, nbytes, t0, ctx.clock.now)
+                return out
+
+            return traced
+        return object.__getattribute__(self, name)
+
+
+def attach_tracers(contexts: list[RankContext]) -> list[Tracer]:
+    """Wrap every context's communicator; returns the tracers (indexed by
+    rank) that fill up during subsequent runs."""
+    tracers = []
+    for ctx in contexts:
+        tracer = Tracer(rank=ctx.rank)
+        ctx.comm = _TracingComm(ctx.comm, tracer)
+        tracers.append(tracer)
+    return tracers
+
+
+def assert_schedules_match(tracers: list[Tracer]) -> None:
+    """Every rank must have executed the identical collective sequence —
+    the SPMD contract the simulated machine relies on."""
+    schedules = [t.schedule() for t in tracers]
+    base = schedules[0]
+    for rank, sched in enumerate(schedules[1:], start=1):
+        if sched != base:
+            for i, (a, b) in enumerate(zip(base, sched)):
+                if a != b:
+                    raise AssertionError(
+                        f"rank {rank} diverged from rank 0 at collective "
+                        f"#{i}: {a!r} vs {b!r}"
+                    )
+            raise AssertionError(
+                f"rank {rank} executed {len(sched)} collectives, "
+                f"rank 0 executed {len(base)}"
+            )

@@ -1,0 +1,33 @@
+"""pCLOUDS — the paper's contribution: a parallel out-of-core decision
+tree classifier built with mixed parallelism."""
+
+from .access import InCoreAccess, NodeAccess, StreamingAccess, open_node
+from .alive import assign_by_cost, evaluate_alive_parallel
+from .config import PCloudsConfig
+from .dataset import DistributedDataset
+from .evaluate import ParallelEvaluation, parallel_evaluate
+from .pclouds import PClouds, PCloudsResult
+from .small_tasks import SmallTask, process_small_tasks
+from .stats_exchange import attribute_owner, exchange_node_stats
+from .switching import auto_q_switch, break_even_node_size
+
+__all__ = [
+    "DistributedDataset",
+    "InCoreAccess",
+    "NodeAccess",
+    "PClouds",
+    "PCloudsConfig",
+    "PCloudsResult",
+    "ParallelEvaluation",
+    "SmallTask",
+    "StreamingAccess",
+    "assign_by_cost",
+    "attribute_owner",
+    "auto_q_switch",
+    "break_even_node_size",
+    "evaluate_alive_parallel",
+    "exchange_node_stats",
+    "open_node",
+    "parallel_evaluate",
+    "process_small_tasks",
+]

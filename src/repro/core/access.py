@@ -1,0 +1,151 @@
+"""Per-node data access: in-core vs out-of-core.
+
+The paper processes a large node out-of-core only when it exceeds the
+pre-specified memory limit (Section 6). Both access modes expose the same
+three operations — the statistics pass, alive-interval member extraction,
+and the partitioning pass — so the driver is oblivious to residency. The
+I/O difference is what the memory limit buys:
+
+* in-core: one sequential read of the fragment, then no further reads;
+* streaming: the statistics pass, the SSE member pass and the partition
+  pass each re-read from disk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import RankContext
+from repro.clouds.intervals import class_counts
+from repro.clouds.nodestats import NodeStats, accumulate_batch, empty_stats
+from repro.clouds.splits import Split
+from repro.clouds.sse import AliveInterval, member_mask
+from repro.data.schema import Schema
+from repro.ooc.columnset import ColumnSet
+
+__all__ = ["NodeAccess", "InCoreAccess", "StreamingAccess", "open_node"]
+
+
+class NodeAccess:
+    """Common interface over one rank's local fragment of one node."""
+
+    def __init__(self, ctx: RankContext, cs: ColumnSet, schema: Schema) -> None:
+        self.ctx = ctx
+        self.cs = cs
+        self.schema = schema
+
+    @property
+    def local_rows(self) -> int:
+        return self.cs.nrows
+
+    def stats_pass(self, boundaries: dict[str, np.ndarray]) -> NodeStats:
+        raise NotImplementedError
+
+    def alive_members(
+        self, alive: list[AliveInterval]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Local (values, labels) of each alive interval, by alive index."""
+        raise NotImplementedError
+
+    def partition(
+        self, split: Split
+    ) -> tuple[ColumnSet, ColumnSet, np.ndarray]:
+        """Write both children to the local disk; returns
+        (left, right, local left class counts)."""
+        raise NotImplementedError
+
+
+class InCoreAccess(NodeAccess):
+    """Fragment fits the memory budget: one read, then memory-resident."""
+
+    def __init__(self, ctx: RankContext, cs: ColumnSet, schema: Schema) -> None:
+        super().__init__(ctx, cs, schema)
+        self.columns, self.labels = cs.read_all()
+
+    def stats_pass(self, boundaries: dict[str, np.ndarray]) -> NodeStats:
+        stats = empty_stats(self.schema, boundaries)
+        accumulate_batch(stats, self.schema, self.columns, self.labels)
+        self.ctx.charge_compute(ops=len(self.labels) * len(self.schema))
+        return stats
+
+    def alive_members(self, alive):
+        out = []
+        for iv in alive:
+            mask = member_mask(self.columns[iv.attribute], iv)
+            self.ctx.charge_compute(ops=len(self.labels))
+            out.append((self.columns[iv.attribute][mask], self.labels[mask]))
+        return out
+
+    def partition(self, split):
+        mask = split.goes_left(self.columns[split.attribute])
+        self.ctx.charge_compute(ops=len(self.labels) * len(self.schema))
+        left = ColumnSet.from_arrays(
+            self.ctx.disk,
+            self.schema,
+            {k: v[mask] for k, v in self.columns.items()},
+            self.labels[mask],
+            name=f"{self.cs.name}/L",
+        )
+        right = ColumnSet.from_arrays(
+            self.ctx.disk,
+            self.schema,
+            {k: v[~mask] for k, v in self.columns.items()},
+            self.labels[~mask],
+            name=f"{self.cs.name}/R",
+        )
+        return left, right, class_counts(self.labels[mask], self.schema.n_classes)
+
+
+class StreamingAccess(NodeAccess):
+    """Fragment exceeds the memory budget: every pass streams from disk."""
+
+    def stats_pass(self, boundaries: dict[str, np.ndarray]) -> NodeStats:
+        stats = empty_stats(self.schema, boundaries)
+        for batch, labels in self.cs.iter_batches():
+            accumulate_batch(stats, self.schema, batch, labels)
+            self.ctx.charge_compute(ops=len(labels) * len(self.schema))
+        return stats
+
+    def alive_members(self, alive):
+        collected: list[tuple[list, list]] = [([], []) for _ in alive]
+        by_attr: dict[str, list[int]] = {}
+        for k, iv in enumerate(alive):
+            by_attr.setdefault(iv.attribute, []).append(k)
+        for name, ks in sorted(by_attr.items()):
+            for values, labels in self.cs.iter_column_with_labels(name):
+                self.ctx.charge_compute(ops=len(values) * len(ks))
+                for k in ks:
+                    m = member_mask(values, alive[k])
+                    if m.any():
+                        collected[k][0].append(values[m])
+                        collected[k][1].append(labels[m])
+        out = []
+        for vals_list, labs_list in collected:
+            if vals_list:
+                out.append((np.concatenate(vals_list), np.concatenate(labs_list)))
+            else:
+                out.append(
+                    (np.empty(0), np.empty(0, dtype=np.int64))
+                )
+        return out
+
+    def partition(self, split):
+        left = ColumnSet(self.ctx.disk, self.schema, name=f"{self.cs.name}/L")
+        right = ColumnSet(self.ctx.disk, self.schema, name=f"{self.cs.name}/R")
+        left_counts = np.zeros(self.schema.n_classes, dtype=np.int64)
+        for batch, labels in self.cs.iter_batches():
+            mask = split.goes_left(batch[split.attribute])
+            self.ctx.charge_compute(ops=len(labels) * len(self.schema))
+            left.append_batch({k: v[mask] for k, v in batch.items()}, labels[mask])
+            right.append_batch({k: v[~mask] for k, v in batch.items()}, labels[~mask])
+            left_counts += class_counts(labels[mask], self.schema.n_classes)
+        return left, right, left_counts
+
+
+def open_node(ctx: RankContext, cs: ColumnSet, schema: Schema) -> NodeAccess:
+    """Pick the access mode by the per-processor memory limit (Section 6:
+    "large nodes are processed out-of-core if the size of those nodes
+    exceed a pre-specified memory limit")."""
+    if ctx.memory.fits(cs.nbytes):
+        return InCoreAccess(ctx, cs, schema)
+    return StreamingAccess(ctx, cs, schema)

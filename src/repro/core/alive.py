@@ -1,0 +1,93 @@
+"""Parallel evaluation of alive intervals (Section 5.1.3).
+
+The paper's **single-assignment approach**: each alive interval is owned
+by exactly one processor, chosen by the cost of processing it (the sort
+dominates). Every processor extracts its local members of every alive
+interval and ships them to the owners in one personalized all-to-all;
+owners sort, evaluate the gini at every distinct point, and the global
+best interior splitter is elected by min-reduction (which also serves as
+the broadcast of the winning split point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import RankContext
+from repro.clouds.splits import Split, better
+from repro.clouds.sse import AliveInterval, evaluate_alive_interval
+from repro.data.schema import Schema
+
+from .access import NodeAccess
+
+__all__ = ["assign_by_cost", "evaluate_alive_parallel"]
+
+
+def assign_by_cost(costs: list[float], n_ranks: int) -> list[int]:
+    """Deterministic LPT (longest-processing-time) assignment: items in
+    decreasing cost order go to the currently least-loaded rank (ties to
+    the lowest rank). Every rank computes the identical mapping from the
+    shared cost list."""
+    loads = [0.0] * n_ranks
+    owner = [0] * len(costs)
+    order = sorted(range(len(costs)), key=lambda k: (-costs[k], k))
+    for k in order:
+        r = min(range(n_ranks), key=lambda i: (loads[i], i))
+        owner[k] = r
+        loads[r] += costs[k]
+    return owner
+
+
+def evaluate_alive_parallel(
+    ctx: RankContext,
+    access: NodeAccess,
+    alive: list[AliveInterval],
+    total_counts: np.ndarray,
+    schema: Schema,
+    boundary_split: Split | None,
+) -> Split | None:
+    """SSE's second phase for one large node; returns the node's final
+    splitter (the boundary winner unless an interior point beats it).
+
+    Collective: every rank must call with the identical ``alive`` list.
+    """
+    comm = ctx.comm
+    if not alive:
+        return boundary_split
+
+    owner = assign_by_cost([iv.sort_cost() for iv in alive], comm.size)
+
+    # extract local members and route them to interval owners
+    members = access.alive_members(alive)
+    parts: list[dict[int, tuple[np.ndarray, np.ndarray]]] = [
+        dict() for _ in range(comm.size)
+    ]
+    for k, (vals, labs) in enumerate(members):
+        if len(vals):
+            parts[owner[k]][k] = (vals, labs)
+    incoming = comm.alltoall(parts)
+
+    # owner side: assemble each owned interval, sort, evaluate every point
+    best_local: Split | None = None
+    mine = [k for k in range(len(alive)) if owner[k] == comm.rank]
+    for k in mine:
+        pieces = [src[k] for src in incoming if k in src]
+        if not pieces:
+            continue
+        vals = np.concatenate([p[0] for p in pieces])
+        labs = np.concatenate([p[1] for p in pieces])
+        ctx.charge_sort(len(vals))
+        ctx.charge_compute(ops=len(vals) * schema.n_classes)
+        cand = evaluate_alive_interval(
+            alive[k], vals, labs, np.asarray(total_counts, dtype=np.float64),
+            schema.n_classes,
+        )
+        best_local = better(best_local, cand)
+
+    value = best_local.gini if best_local is not None else float("inf")
+    _, interior, _ = comm.allreduce_minloc(
+        value,
+        best_local,
+        tiebreak=best_local.order_key() if best_local is not None else None,
+    )
+    return better(boundary_split, interior)

@@ -1,0 +1,53 @@
+"""Configuration of the parallel classifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clouds.builder import CloudsConfig
+
+
+@dataclass(frozen=True)
+class PCloudsConfig:
+    """pCLOUDS knobs (Section 5 / Section 6 of the paper).
+
+    ``clouds`` — the underlying sequential-method parameters (q_root,
+    sample size, stopping criteria; the paper used q_root = 10,000 at the
+    root for 3.6–7.2M records — scale it with your data).
+
+    ``q_switch`` — the mixed-parallelism threshold: a node whose interval
+    count q(node) drops to this value or below becomes a *small node* and
+    is deferred to the delayed task-parallelism phase ("we used a value of
+    ten (in terms of the number of intervals) for the threshold"). Pass
+    the string ``"auto"`` to derive the threshold from the machine's cost
+    models (:mod:`repro.core.switching` — the analytic criterion the paper
+    leaves as an open question).
+
+    ``exchange`` — how interval statistics become global:
+    ``"attribute"`` is the paper's replication method with the
+    attribute-based approach (each attribute's global vectors are reduced
+    to one owner processor); ``"distributed"`` is the paper's alternative
+    distributed method (interval-granular RAW ownership plus a parallel
+    prefix sum, which the paper discussed but did not implement);
+    ``"allreduce"`` is the naive variant that replicates *all* global
+    vectors on every processor. All three produce the identical
+    classifier; the ablation benchmark measures their costs.
+    """
+
+    clouds: CloudsConfig = field(default_factory=CloudsConfig)
+    q_switch: int | str = 10
+    exchange: str = "attribute"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.q_switch, str):
+            if self.q_switch != "auto":
+                raise ValueError(
+                    f"q_switch must be an int or 'auto', got {self.q_switch!r}"
+                )
+        elif self.q_switch < 1:
+            raise ValueError("q_switch must be at least 1")
+        if self.exchange not in ("attribute", "distributed", "allreduce"):
+            raise ValueError(
+                "exchange must be 'attribute', 'distributed' or "
+                f"'allreduce', got {self.exchange!r}"
+            )

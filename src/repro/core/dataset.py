@@ -1,0 +1,83 @@
+"""Distributed training sets: the random initial placement of records
+across the machine's local disks (Section 3's problem statement — "the
+data is initially distributed at random among the p processors")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machine import Cluster, RankContext
+from repro.data.distribute import load_fragment, multinomial_split, shuffle_split
+from repro.data.schema import Schema
+from repro.ooc.columnset import ColumnSet
+
+
+@dataclass
+class DistributedDataset:
+    """A training set spread over one cluster's disks.
+
+    Holds the rank contexts (whose disks contain the fragments) so a
+    subsequent ``Cluster.run(..., contexts=...)`` operates on the loaded
+    data. Loading happens at simulated time zero and clocks are reset
+    afterwards — the paper's timings start after the initial
+    distribution.
+    """
+
+    cluster: Cluster
+    schema: Schema
+    contexts: list[RankContext]
+    columnsets: list[ColumnSet]
+    n_total: int
+
+    @classmethod
+    def create(
+        cls,
+        cluster: Cluster,
+        schema: Schema,
+        columns: dict[str, np.ndarray],
+        labels: np.ndarray,
+        *,
+        seed: int = 0,
+        batch_rows: int | None = 8192,
+        policy: str = "shuffle",
+    ) -> "DistributedDataset":
+        """Distribute in-memory columns onto the cluster's disks.
+
+        ``policy`` is ``"shuffle"`` (equal shares of a random permutation,
+        the experimental setup) or ``"multinomial"`` (independent uniform
+        placement, the Theorem-1 model).
+        """
+        if policy == "shuffle":
+            frags = shuffle_split(columns, labels, cluster.n_ranks, seed=seed)
+        elif policy == "multinomial":
+            frags = multinomial_split(columns, labels, cluster.n_ranks, seed=seed)
+        else:
+            raise ValueError(f"unknown distribution policy {policy!r}")
+        contexts = cluster.make_contexts()
+        run = cluster.run(
+            load_fragment,
+            schema,
+            frags,
+            batch_rows,
+            contexts=contexts,
+            reset_clocks=True,
+        )
+        for ctx in contexts:  # timings start after the initial distribution
+            ctx.clock.now = 0.0
+            ctx.timer.totals.clear()
+        return cls(
+            cluster=cluster,
+            schema=schema,
+            contexts=contexts,
+            columnsets=list(run.results),
+            n_total=int(len(labels)),
+        )
+
+    @property
+    def n_ranks(self) -> int:
+        return self.cluster.n_ranks
+
+    def local_rows(self) -> list[int]:
+        return [cs.nrows for cs in self.columnsets]

@@ -1,0 +1,383 @@
+"""pCLOUDS: the parallel out-of-core decision-tree classifier
+(Section 5 of the paper).
+
+The tree is built with **mixed parallelism**:
+
+* **Large nodes** (interval count above the switch threshold) are
+  processed with *data parallelism*: every processor keeps its random
+  share of the node's records on its own disk, builds local interval
+  statistics in one pass, the statistics are combined with the replicated
+  attribute-based exchange, alive intervals are evaluated with the
+  single-assignment approach, and each processor partitions its local
+  share — the I/O stays local and uniform, so load balance is near
+  perfect (Lemma 2).
+* **Small nodes** are deferred until every large node is done, then
+  handled with *delayed task parallelism*: cost-based assignment of whole
+  nodes to processors, one batched redistribution, local in-memory exact
+  builds.
+
+Every rank executes the same driver loop over the same (globally known)
+node metadata, so the SPMD control flow never diverges; only the local
+fragments differ.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.machine import Cluster, RankContext, SpmdRun
+from repro.clouds.builder import node_boundaries
+from repro.clouds.gini import gini_from_counts
+from repro.clouds.intervals import class_counts, scale_q
+from repro.clouds.splits import Split
+from repro.clouds.tree import DecisionTree, TreeNode, decode_node
+from repro.data.schema import Schema
+from repro.ooc.columnset import ColumnSet
+
+from .access import open_node
+from .alive import evaluate_alive_parallel
+from .config import PCloudsConfig
+from .dataset import DistributedDataset
+from .small_tasks import SmallTask, process_small_tasks
+from .stats_exchange import exchange_node_stats
+from .switching import auto_q_switch
+
+__all__ = ["PClouds", "PCloudsResult"]
+
+
+@dataclass
+class _LargeTask:
+    node_id: int
+    depth: int
+    columnset: ColumnSet
+    sample_cols: dict[str, np.ndarray]
+    sample_labels: np.ndarray
+    counts: np.ndarray  # global class counts (identical on every rank)
+
+
+@dataclass
+class PCloudsResult:
+    """Outcome of one parallel fit."""
+
+    tree: DecisionTree
+    elapsed: float  # simulated seconds (max over ranks)
+    run: SpmdRun
+    n_large_nodes: int
+    n_small_tasks: int
+    survival_ratios: list[float] = field(default_factory=list)
+
+    def phase_time(self, phase: str) -> float:
+        """Max-over-ranks simulated time attributed to one phase."""
+        return max((pt.get(phase, 0.0) for pt in self.run.phase_times), default=0.0)
+
+    @property
+    def phases(self) -> dict[str, float]:
+        keys = {k for pt in self.run.phase_times for k in pt}
+        return {k: self.phase_time(k) for k in sorted(keys)}
+
+
+class PClouds:
+    """Parallel CLOUDS classifier over a simulated shared-nothing machine."""
+
+    def __init__(self, config: PCloudsConfig | None = None) -> None:
+        self.config = config or PCloudsConfig()
+
+    def fit(self, dataset: DistributedDataset, seed: int = 0) -> PCloudsResult:
+        """Build the decision tree for a distributed training set.
+
+        Consumes the dataset's disk fragments (children overwrite parents
+        exactly as on the real machine); create a fresh
+        :class:`DistributedDataset` to fit again.
+        """
+        run = dataset.cluster.run(
+            _fit_program,
+            dataset.columnsets,
+            dataset.schema,
+            self.config,
+            dataset.n_total,
+            seed,
+            contexts=dataset.contexts,
+            reset_clocks=True,
+        )
+        payload = run.results[0]
+        tree = DecisionTree(
+            root=payload["root"],
+            schema=dataset.schema,
+            meta={"builder": "pclouds", "n_ranks": dataset.n_ranks},
+        )
+        return PCloudsResult(
+            tree=tree,
+            elapsed=run.elapsed,
+            run=run,
+            n_large_nodes=payload["n_large"],
+            n_small_tasks=payload["n_small"],
+            survival_ratios=payload["survival"],
+        )
+
+
+# -- the SPMD program -------------------------------------------------------
+
+
+def _root_preprocess(
+    ctx: RankContext,
+    cs: ColumnSet,
+    schema: Schema,
+    sample_size: int,
+    n_total: int,
+    seed: int,
+) -> tuple[dict[str, np.ndarray], np.ndarray, np.ndarray]:
+    """Preprocessing (Section 5, step 1): draw the random sample and count
+    classes in one local pass, then replicate the sample everywhere.
+
+    The replicated sample is partitioned alongside the data at every
+    split, so interval boundaries are later derived without communication.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 17, ctx.rank]))
+    want_local = int(round(sample_size * cs.nrows / max(n_total, 1)))
+    n = cs.nrows
+    pick = (
+        np.sort(rng.choice(n, size=min(want_local, n), replace=False))
+        if n
+        else np.empty(0, dtype=np.int64)
+    )
+    counts = np.zeros(schema.n_classes, dtype=np.int64)
+    got_cols: dict[str, list] = {a.name: [] for a in schema}
+    got_labels: list[np.ndarray] = []
+    base = 0
+    for batch, labels in cs.iter_batches():
+        counts += class_counts(labels, schema.n_classes)
+        local = pick[(pick >= base) & (pick < base + len(labels))] - base
+        if len(local):
+            for name in got_cols:
+                got_cols[name].append(batch[name][local])
+            got_labels.append(labels[local])
+        base += len(labels)
+        ctx.charge_compute(ops=len(labels))
+    local_sample_cols = {
+        name: (
+            np.concatenate(chunks)
+            if chunks
+            else np.empty(0, dtype=schema.attribute(name).dtype)
+        )
+        for name, chunks in got_cols.items()
+    }
+    local_sample_labels = (
+        np.concatenate(got_labels) if got_labels else np.empty(0, dtype=np.int64)
+    )
+
+    total = ctx.comm.allreduce(counts)
+    gathered = ctx.comm.allgather((local_sample_cols, local_sample_labels))
+    sample_cols = {
+        name: np.concatenate([g[0][name] for g in gathered]) for name in got_cols
+    }
+    sample_labels = np.concatenate([g[1] for g in gathered])
+    return sample_cols, sample_labels, total
+
+
+def _fit_program(
+    ctx: RankContext,
+    columnsets: list[ColumnSet],
+    schema: Schema,
+    config: PCloudsConfig,
+    n_total: int,
+    seed: int,
+) -> dict | None:
+    cfg = config.clouds
+    stopping = cfg.stopping()
+    cs = columnsets[ctx.rank]
+    q_switch = (
+        auto_q_switch(
+            schema, cfg, ctx.comm._world.network, ctx.disk.model,
+            ctx.compute, ctx.size, n_total, memory_limit=ctx.memory.limit,
+        )
+        if config.q_switch == "auto"
+        else config.q_switch
+    )
+
+    ctx.timer.start("preprocess")
+    sample_cols, sample_labels, root_counts = _root_preprocess(
+        ctx, cs, schema, cfg.sample_size, n_total, seed
+    )
+
+    queue: deque[_LargeTask] = deque(
+        [
+            _LargeTask(
+                node_id=0,
+                depth=0,
+                columnset=cs,
+                sample_cols=sample_cols,
+                sample_labels=sample_labels,
+                counts=root_counts,
+            )
+        ]
+    )
+    nodes: dict[int, dict] = {}
+    small: list[SmallTask] = []
+    survival: list[float] = []
+    n_large = 0
+
+    while queue:
+        t = queue.popleft()
+        n = int(t.counts.sum())
+
+        if stopping.is_leaf(t.counts, t.depth):
+            nodes[t.node_id] = {"kind": "leaf", "counts": t.counts, "depth": t.depth}
+            t.columnset.delete()
+            continue
+
+        q = scale_q(cfg.q_root, n, n_total)
+        if q <= q_switch:
+            nodes[t.node_id] = {"kind": "small", "counts": t.counts, "depth": t.depth}
+            small.append(
+                SmallTask(
+                    node_id=t.node_id,
+                    depth=t.depth,
+                    n_global=n,
+                    class_counts=t.counts,
+                    columnset=t.columnset,
+                )
+            )
+            continue
+
+        n_large += 1
+        split, left_counts, ratio, left_cs, right_cs = _process_large_node(
+            ctx, t, schema, config, q
+        )
+        survival.append(ratio)
+        if split is None:
+            nodes[t.node_id] = {"kind": "leaf", "counts": t.counts, "depth": t.depth}
+            continue
+        nodes[t.node_id] = {
+            "kind": "internal",
+            "split": split,
+            "counts": t.counts,
+            "depth": t.depth,
+        }
+        smask = split.goes_left(t.sample_cols[split.attribute])
+        queue.append(
+            _LargeTask(
+                node_id=2 * t.node_id + 1,
+                depth=t.depth + 1,
+                columnset=left_cs,
+                sample_cols={k: v[smask] for k, v in t.sample_cols.items()},
+                sample_labels=t.sample_labels[smask],
+                counts=left_counts,
+            )
+        )
+        queue.append(
+            _LargeTask(
+                node_id=2 * t.node_id + 2,
+                depth=t.depth + 1,
+                columnset=right_cs,
+                sample_cols={k: v[~smask] for k, v in t.sample_cols.items()},
+                sample_labels=t.sample_labels[~smask],
+                counts=t.counts - left_counts,
+            )
+        )
+
+    # delayed task parallelism for the accumulated small nodes
+    ctx.timer.start("small_nodes")
+    subtrees = process_small_tasks(ctx, small, schema, config)
+    ctx.timer.stop()
+
+    # assembly at rank 0 (the pruning/serving host)
+    gathered = ctx.comm.gather(subtrees, root=0)
+    if ctx.rank != 0:
+        return None
+    merged: dict[int, dict] = {}
+    for d in gathered:
+        merged.update(d)
+    root = _assemble(0, nodes, merged)
+    _renumber(root)
+    return {
+        "root": root,
+        "n_large": n_large,
+        "n_small": len(small),
+        "survival": survival,
+    }
+
+
+def _process_large_node(
+    ctx: RankContext,
+    t: _LargeTask,
+    schema: Schema,
+    config: PCloudsConfig,
+    q: int,
+) -> tuple[Split | None, np.ndarray | None, float, ColumnSet | None, ColumnSet | None]:
+    """Steps 1-3 of Section 5 for one large node. Returns ``(split,
+    global left counts, survival ratio, left child fragment, right child
+    fragment)``; the split is None when the node becomes a leaf."""
+    cfg = config.clouds
+    n = int(t.counts.sum())
+
+    ctx.timer.start("stats")
+    bounds = node_boundaries(schema, t.sample_cols, q)
+    access = open_node(ctx, t.columnset, schema)
+    local_stats = access.stats_pass(bounds)
+    boundary_split, alive = exchange_node_stats(
+        ctx, schema, local_stats, t.counts, config
+    )
+
+    ctx.timer.start("alive")
+    ratio = sum(iv.count for iv in alive) / max(n, 1)
+    split = evaluate_alive_parallel(
+        ctx, access, alive, t.counts, schema, boundary_split
+    )
+
+    parent_gini = float(gini_from_counts(t.counts))
+    if split is None or split.gini >= parent_gini:
+        ctx.timer.stop()
+        t.columnset.delete()
+        return None, None, ratio, None, None
+
+    ctx.timer.start("partition")
+    left_cs, right_cs, local_left = access.partition(split)
+    t.columnset.delete()
+    left_counts = ctx.comm.allreduce(local_left)
+    ctx.timer.stop()
+    right_counts = t.counts - left_counts
+    if left_counts.sum() == 0 or right_counts.sum() == 0:
+        # globally degenerate split (cannot happen via the gini machinery,
+        # but a malformed custom config should not corrupt the tree)
+        left_cs.delete()
+        right_cs.delete()
+        return None, None, ratio, None, None
+    return split, left_counts, ratio, left_cs, right_cs
+
+
+# -- tree assembly -------------------------------------------------------------
+
+
+def _assemble(node_id: int, nodes: dict[int, dict], subtrees: dict[int, dict]) -> TreeNode:
+    rec = nodes[node_id]
+    if rec["kind"] == "small":
+        if node_id in subtrees:
+            return decode_node(subtrees[node_id])
+        # a small task with no surviving records anywhere: emit a leaf
+        return TreeNode(
+            node_id=node_id, depth=rec["depth"], class_counts=rec["counts"]
+        )
+    node = TreeNode(
+        node_id=node_id, depth=rec["depth"], class_counts=rec["counts"]
+    )
+    if rec["kind"] == "internal":
+        node.split = rec["split"]
+        node.left = _assemble(2 * node_id + 1, nodes, subtrees)
+        node.right = _assemble(2 * node_id + 2, nodes, subtrees)
+    return node
+
+
+def _renumber(root: TreeNode) -> None:
+    """Depth-first sequential node ids over the assembled tree."""
+    counter = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        node.node_id = counter
+        counter += 1
+        if not node.is_leaf:
+            stack.append(node.right)
+            stack.append(node.left)

@@ -1,0 +1,463 @@
+"""Evaluation of interval boundaries for numeric attributes, in parallel
+(Section 5.1.1).
+
+The paper implements the **replication method** with the
+**attribute-based approach**: the global class-frequency vectors of each
+attribute are assembled at exactly one owner processor; the owner runs the
+(purely local) prefix sum over its boundaries, evaluates the gini at each
+boundary, and the global minimum gini is elected with a min-reduction.
+Categorical count matrices travel to owners the same way. With SSE, each
+owner then determines the alive intervals of its attributes locally and
+the statuses are broadcast to everyone (one allgather).
+
+The naive variant (``exchange="allreduce"``) replicates *all* global
+vectors on every processor via one global combine — simpler, but it moves
+O(q·c·f) bytes through the reduction instead of O(q·c·f/p) per processor
+and repeats the sweep p times; the ablation bench quantifies the gap.
+
+The **distributed method** (``exchange="distributed"``) is the paper's
+other alternative: instead of whole attributes, individual *intervals*
+are assigned to owners (the random-access-write pattern of Bae's runtime
+the paper cites), so the per-owner storage is O(q·c·f/p) even when
+f < p. The cumulative class counts an owner needs for its boundaries are
+no longer local — they are recovered with one parallel prefix sum
+(Table 1's primitive) over the per-rank partial sums. The paper chose
+replication for its simplicity and lower communication; this
+implementation makes that trade-off measurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import RankContext
+from repro.clouds.gini import best_categorical_split, boundary_sweep
+from repro.clouds.nodestats import NodeStats, NumericStats
+from repro.clouds.splits import CATEGORICAL_SPLIT, NUMERIC_SPLIT, Split
+from repro.clouds.sse import AliveInterval, determine_alive_intervals
+from repro.data.schema import Schema
+
+from .config import PCloudsConfig
+
+__all__ = ["attribute_owner", "exchange_node_stats"]
+
+
+def attribute_owner(attr_index: int, n_ranks: int) -> int:
+    """Round-robin assignment of attributes to owner processors."""
+    return attr_index % n_ranks
+
+
+def _owned_attributes(schema: Schema, rank: int, size: int) -> list[str]:
+    return [
+        a.name
+        for i, a in enumerate(schema.attributes)
+        if attribute_owner(i, size) == rank
+    ]
+
+
+def _best_boundary_split_of(
+    name: str, boundaries: np.ndarray, hist: np.ndarray, total: np.ndarray
+) -> Split | None:
+    """Owner-side boundary sweep of one numeric attribute."""
+    if boundaries.size == 0:
+        return None
+    cum = np.cumsum(hist, axis=0)[:-1]
+    sizes = cum.sum(axis=1)
+    n = float(total.sum())
+    valid = (sizes > 0) & (sizes < n)
+    if not valid.any():
+        return None
+    ginis = np.where(valid, boundary_sweep(cum, total), np.inf)
+    k = int(np.argmin(ginis))
+    return Split(
+        attribute=name,
+        kind=NUMERIC_SPLIT,
+        gini=float(ginis[k]),
+        threshold=float(boundaries[k]),
+    )
+
+
+def exchange_node_stats(
+    ctx: RankContext,
+    schema: Schema,
+    local: NodeStats,
+    total_counts: np.ndarray,
+    config: PCloudsConfig,
+) -> tuple[Split | None, list[AliveInterval]]:
+    """Turn per-processor statistics into the node's gini_min splitter and
+    (for SSE) the alive-interval list, replicated on every rank.
+
+    Every rank must call this once per large node with statistics built
+    over the *same* interval boundaries.
+    """
+    if config.exchange == "attribute":
+        return _exchange_attribute_based(ctx, schema, local, total_counts, config)
+    if config.exchange == "distributed":
+        return _exchange_distributed(ctx, schema, local, total_counts, config)
+    return _exchange_allreduce(ctx, schema, local, total_counts, config)
+
+
+# -- attribute-based approach (the paper's choice) -----------------------
+
+
+def _exchange_attribute_based(
+    ctx: RankContext,
+    schema: Schema,
+    local: NodeStats,
+    total_counts: np.ndarray,
+    config: PCloudsConfig,
+) -> tuple[Split | None, list[AliveInterval]]:
+    comm = ctx.comm
+    size, rank = comm.size, comm.rank
+    c = schema.n_classes
+
+    # ship each attribute's local vectors to its owner (numeric attributes
+    # carry their per-interval value ranges alongside the histograms)
+    parts: list[dict[str, object]] = [dict() for _ in range(size)]
+    for i, a in enumerate(schema.attributes):
+        dest = attribute_owner(i, size)
+        if a.is_numeric:
+            ns = local.numeric[a.name]
+            parts[dest][a.name] = (ns.hist, ns.vmin, ns.vmax)
+        else:
+            parts[dest][a.name] = local.categorical[a.name]
+    incoming = comm.alltoall(parts)
+
+    # owner: combine, sweep, keep the best candidate per owned attribute
+    owned = _owned_attributes(schema, rank, size)
+    global_num: dict[str, NumericStats] = {}
+    best_local: Split | None = None
+    for name in owned:
+        attr = schema.attribute(name)
+        if attr.is_numeric:
+            combined = incoming[0][name][0].copy()
+            vmin = incoming[0][name][1].copy()
+            vmax = incoming[0][name][2].copy()
+            for piece in incoming[1:]:
+                combined += piece[name][0]
+                np.minimum(vmin, piece[name][1], out=vmin)
+                np.maximum(vmax, piece[name][2], out=vmax)
+            ctx.charge_compute(ops=combined.size * size)
+            bounds = local.numeric[name].boundaries
+            global_num[name] = NumericStats(
+                boundaries=bounds, hist=combined, vmin=vmin, vmax=vmax
+            )
+            ctx.charge_compute(ops=3 * combined.size)  # prefix sum + gini sweep
+            cand = _best_boundary_split_of(name, bounds, combined, total_counts)
+        else:
+            combined = incoming[0][name].copy()
+            for piece in incoming[1:]:
+                combined += piece[name]
+            ctx.charge_compute(ops=combined.size * size)
+            res = best_categorical_split(combined, config.clouds.enumerate_limit)
+            ctx.charge_compute(ops=combined.size * attr.cardinality)
+            cand = (
+                Split(
+                    attribute=name,
+                    kind=CATEGORICAL_SPLIT,
+                    gini=res[0],
+                    left_codes=res[1],
+                )
+                if res is not None
+                else None
+            )
+        if cand is not None and (best_local is None or cand.gini < best_local.gini):
+            best_local = cand
+
+    # elect gini_min across processors (ties by the split's order key, so
+    # the winner matches what a sequential sweep over all attributes picks)
+    value = best_local.gini if best_local is not None else float("inf")
+    gini_min, split, _ = comm.allreduce_minloc(
+        value,
+        best_local,
+        tiebreak=best_local.order_key() if best_local is not None else None,
+    )
+    if split is None:
+        return None, []
+
+    if config.clouds.method != "sse":
+        return split, []
+
+    # owners determine alive intervals among their (global) intervals ...
+    my_alive: list[AliveInterval] = []
+    for name, ns in global_num.items():
+        stats_one = NodeStats(
+            total=np.asarray(total_counts, dtype=np.int64),
+            numeric={name: ns},
+        )
+        one_schema = Schema(
+            attributes=(schema.attribute(name),), n_classes=c
+        )
+        my_alive.extend(determine_alive_intervals(stats_one, one_schema, gini_min))
+        ctx.charge_compute(ops=ns.hist.shape[0] * c * (2 ** min(c, 16)))
+    # ... and the statuses are broadcast to all processors (cost ∝ qc)
+    gathered = ctx.comm.allgather(_encode_alive(my_alive))
+    alive = [iv for chunk in gathered for iv in _decode_alive(chunk)]
+    alive.sort(key=lambda iv: (iv.attribute, iv.index))
+    return split, alive
+
+
+# -- distributed method (interval-granular RAW ownership) -----------------
+
+
+def _interval_block(q: int, size: int, rank: int) -> tuple[int, int]:
+    """Contiguous block of interval indices owned by ``rank`` (contiguity
+    is what lets one prefix sum recover the cumulative counts)."""
+    return rank * q // size, (rank + 1) * q // size
+
+
+def _exchange_distributed(
+    ctx: RankContext,
+    schema: Schema,
+    local: NodeStats,
+    total_counts: np.ndarray,
+    config: PCloudsConfig,
+) -> tuple[Split | None, list[AliveInterval]]:
+    comm = ctx.comm
+    size, rank = comm.size, comm.rank
+    c = schema.n_classes
+    num_names = [a.name for a in schema.numeric]
+
+    # route each attribute's interval rows to the interval-block owners;
+    # categorical matrices keep attribute-based ownership (they are small)
+    parts: list[dict] = [{"num": {}, "cat": {}} for _ in range(size)]
+    for ai, a in enumerate(schema.attributes):
+        if a.is_numeric:
+            ns = local.numeric[a.name]
+            q = ns.n_intervals
+            for d in range(size):
+                lo, hi = _interval_block(q, size, d)
+                if lo < hi:
+                    parts[d]["num"][a.name] = (
+                        lo, ns.hist[lo:hi], ns.vmin[lo:hi], ns.vmax[lo:hi]
+                    )
+        else:
+            parts[attribute_owner(ai, size)]["cat"][a.name] = (
+                local.categorical[a.name]
+            )
+    incoming = comm.alltoall(parts)
+
+    # combine this rank's interval block per attribute
+    blocks: dict[str, tuple[int, np.ndarray, np.ndarray, np.ndarray]] = {}
+    for name in num_names:
+        pieces = [src["num"][name] for src in incoming if name in src["num"]]
+        if not pieces:
+            continue
+        lo = pieces[0][0]
+        hist = pieces[0][1].copy()
+        vmin = pieces[0][2].copy()
+        vmax = pieces[0][3].copy()
+        for piece in pieces[1:]:
+            hist += piece[1]
+            np.minimum(vmin, piece[2], out=vmin)
+            np.maximum(vmax, piece[3], out=vmax)
+        blocks[name] = (lo, hist, vmin, vmax)
+        ctx.charge_compute(ops=hist.size * size)
+
+    # one parallel prefix sum recovers each block's base cumulative counts
+    totals = np.stack(
+        [
+            blocks[n][1].sum(axis=0) if n in blocks else np.zeros(c, np.int64)
+            for n in num_names
+        ]
+    ) if num_names else np.zeros((0, c), dtype=np.int64)
+    inclusive = comm.scan(totals)
+    base = {
+        n: inclusive[i] - totals[i] for i, n in enumerate(num_names)
+    }
+
+    # boundary sweep over the owned block of every attribute
+    best_local: Split | None = None
+    n_total = float(np.asarray(total_counts).sum())
+    for name, (lo, hist, vmin, vmax) in blocks.items():
+        bounds = local.numeric[name].boundaries
+        cum = base[name][None, :] + np.cumsum(hist, axis=0)
+        ctx.charge_compute(ops=3 * hist.size)
+        for i in range(hist.shape[0]):
+            b = lo + i  # boundary b closes interval b
+            if b >= len(bounds):
+                continue
+            left_n = float(cum[i].sum())
+            if left_n <= 0 or left_n >= n_total:
+                continue
+            g = float(boundary_sweep(cum[i : i + 1], np.asarray(total_counts))[0])
+            cand = Split(
+                attribute=name, kind=NUMERIC_SPLIT, gini=g,
+                threshold=float(bounds[b]),
+            )
+            if (
+                best_local is None
+                or cand.gini < best_local.gini
+                or (cand.gini == best_local.gini
+                    and cand.order_key() < best_local.order_key())
+            ):
+                best_local = cand
+
+    # categorical candidates at their attribute owners
+    for name, matrix_pieces in (
+        (n, [src["cat"][n] for src in incoming if n in src["cat"]])
+        for n in (a.name for a in schema.categorical)
+    ):
+        if not matrix_pieces:
+            continue
+        combined = matrix_pieces[0].copy()
+        for piece in matrix_pieces[1:]:
+            combined += piece
+        ctx.charge_compute(ops=combined.size * size)
+        res = best_categorical_split(combined, config.clouds.enumerate_limit)
+        if res is not None:
+            cand = Split(
+                attribute=name, kind=CATEGORICAL_SPLIT, gini=res[0],
+                left_codes=res[1],
+            )
+            if (
+                best_local is None
+                or cand.gini < best_local.gini
+                or (cand.gini == best_local.gini
+                    and cand.order_key() < best_local.order_key())
+            ):
+                best_local = cand
+
+    value = best_local.gini if best_local is not None else float("inf")
+    gini_min, split, _ = comm.allreduce_minloc(
+        value,
+        best_local,
+        tiebreak=best_local.order_key() if best_local is not None else None,
+    )
+    if split is None:
+        return None, []
+    if config.clouds.method != "sse":
+        return split, []
+
+    # alive determination directly at the interval owners
+    from repro.clouds.gini import gini_lower_bound
+
+    my_alive: list[AliveInterval] = []
+    for name, (lo, hist, vmin, vmax) in blocks.items():
+        bounds = local.numeric[name].boundaries
+        cum = base[name][None, :] + np.cumsum(hist, axis=0)
+        left = cum - hist
+        ctx.charge_compute(
+            ops=hist.shape[0] * c * (2 ** min(c, 16))
+        )
+        for i in range(hist.shape[0]):
+            count = int(hist[i].sum())
+            if count < 2 or not vmin[i] < vmax[i]:
+                continue
+            est = gini_lower_bound(
+                left[i].astype(np.float64),
+                hist[i].astype(np.float64),
+                np.asarray(total_counts, dtype=np.float64),
+            )
+            if est < gini_min:
+                idx = lo + i
+                my_alive.append(
+                    AliveInterval(
+                        attribute=name,
+                        index=idx,
+                        lo=float(bounds[idx - 1]) if idx > 0 else -np.inf,
+                        hi=float(bounds[idx]) if idx < len(bounds) else np.inf,
+                        left_cum=left[i].astype(np.float64),
+                        count=count,
+                        gini_est=float(est),
+                    )
+                )
+    gathered = comm.allgather(_encode_alive(my_alive))
+    alive = [iv for chunk in gathered for iv in _decode_alive(chunk)]
+    alive.sort(key=lambda iv: (iv.attribute, iv.index))
+    return split, alive
+
+
+# -- naive full replication (ablation) ------------------------------------
+
+
+def _merge_stat_dicts(a: dict, b: dict) -> dict:
+    """Elementwise combine: histograms/count matrices add; the numeric
+    (hist, vmin, vmax) triples add/min/max."""
+    out = {}
+    for k in a:
+        if isinstance(a[k], tuple):
+            out[k] = (
+                a[k][0] + b[k][0],
+                np.minimum(a[k][1], b[k][1]),
+                np.maximum(a[k][2], b[k][2]),
+            )
+        else:
+            out[k] = a[k] + b[k]
+    return out
+
+
+def _exchange_allreduce(
+    ctx: RankContext,
+    schema: Schema,
+    local: NodeStats,
+    total_counts: np.ndarray,
+    config: PCloudsConfig,
+) -> tuple[Split | None, list[AliveInterval]]:
+    from repro.clouds.ss import find_split_ss
+
+    payload = {}
+    for a in schema.attributes:
+        if a.is_numeric:
+            ns = local.numeric[a.name]
+            payload[a.name] = (ns.hist, ns.vmin, ns.vmax)
+        else:
+            payload[a.name] = local.categorical[a.name]
+    combined = ctx.comm.allreduce(payload, op=_merge_stat_dicts)
+    ctx.charge_compute(
+        ops=sum(
+            (v[0].size if isinstance(v, tuple) else v.size)
+            for v in combined.values()
+        )
+        * np.log2(max(ctx.comm.size, 2))
+    )
+    stats = NodeStats(total=np.asarray(total_counts, dtype=np.int64))
+    for a in schema.attributes:
+        if a.is_numeric:
+            hist, vmin, vmax = combined[a.name]
+            stats.numeric[a.name] = NumericStats(
+                boundaries=local.numeric[a.name].boundaries,
+                hist=hist,
+                vmin=vmin,
+                vmax=vmax,
+            )
+        else:
+            stats.categorical[a.name] = combined[a.name]
+    split = find_split_ss(stats, schema, config.clouds.enumerate_limit)
+    q_total = sum(ns.n_intervals for ns in stats.numeric.values())
+    ctx.charge_compute(ops=3 * q_total * schema.n_classes)
+    if split is None:
+        return None, []
+    if config.clouds.method != "sse":
+        return split, []
+    alive = determine_alive_intervals(stats, schema, split.gini)
+    ctx.charge_compute(
+        ops=q_total * schema.n_classes * (2 ** min(schema.n_classes, 16))
+    )
+    alive.sort(key=lambda iv: (iv.attribute, iv.index))  # same order as the
+    return split, alive  # attribute-based path, so downstream LPT agrees
+
+
+# -- alive-interval wire format ---------------------------------------------
+
+
+def _encode_alive(alive: list[AliveInterval]) -> list[tuple]:
+    return [
+        (iv.attribute, iv.index, iv.lo, iv.hi, iv.left_cum, iv.count, iv.gini_est)
+        for iv in alive
+    ]
+
+
+def _decode_alive(chunk: list[tuple]) -> list[AliveInterval]:
+    return [
+        AliveInterval(
+            attribute=t[0],
+            index=t[1],
+            lo=t[2],
+            hi=t[3],
+            left_cum=t[4],
+            count=t[5],
+            gini_est=t[6],
+        )
+        for t in chunk
+    ]

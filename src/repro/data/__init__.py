@@ -1,0 +1,42 @@
+"""Synthetic data substrate: the Quest generator and record distribution."""
+
+from .distribute import load_fragment, multinomial_split, shuffle_split
+from .io import CsvCodec, read_csv, write_csv
+from .generator import (
+    GROUP_A,
+    GROUP_B,
+    N_FUNCTIONS,
+    generate_quest,
+    quest_schema,
+)
+from .synthetic import blob_schema, make_blobs
+from .schema import (
+    CATEGORICAL,
+    LABEL_DTYPE,
+    NUMERIC,
+    Attribute,
+    Schema,
+    make_schema,
+)
+
+__all__ = [
+    "Attribute",
+    "CATEGORICAL",
+    "GROUP_A",
+    "GROUP_B",
+    "CsvCodec",
+    "LABEL_DTYPE",
+    "N_FUNCTIONS",
+    "NUMERIC",
+    "Schema",
+    "generate_quest",
+    "load_fragment",
+    "make_schema",
+    "multinomial_split",
+    "quest_schema",
+    "read_csv",
+    "write_csv",
+    "blob_schema",
+    "make_blobs",
+    "shuffle_split",
+]

@@ -1,0 +1,84 @@
+"""Random distribution of records across processors.
+
+The paper assumes the training set "is initially distributed at random
+among the p processors" and relies on the Angluin–Valiant bound
+(Theorem 1) for the resulting balance. Two policies are provided:
+
+* ``shuffle_split`` — global random permutation, then equal-size shares
+  (the experimental setup: "data is distributed equally to all the
+  processors at random");
+* ``multinomial_split`` — each record independently picks a uniform rank
+  (the Theorem-1 model; shares differ by O(sqrt(n/p log n))).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .schema import Schema
+
+if TYPE_CHECKING:  # avoid a circular import: cluster.machine -> ooc -> data
+    from repro.cluster.machine import RankContext
+    from repro.ooc.columnset import ColumnSet
+
+Fragment = tuple[dict[str, np.ndarray], np.ndarray]
+
+
+def _take(columns: dict[str, np.ndarray], labels: np.ndarray, idx: np.ndarray) -> Fragment:
+    return {k: v[idx] for k, v in columns.items()}, labels[idx]
+
+
+def shuffle_split(
+    columns: dict[str, np.ndarray],
+    labels: np.ndarray,
+    n_ranks: int,
+    seed: int = 0,
+) -> list[Fragment]:
+    """Random permutation, then contiguous shares differing by at most one
+    record."""
+    if n_ranks < 1:
+        raise ValueError(f"need at least one rank, got {n_ranks}")
+    n = len(labels)
+    perm = np.random.default_rng(seed).permutation(n)
+    bounds = np.linspace(0, n, n_ranks + 1).astype(np.int64)
+    return [
+        _take(columns, labels, perm[bounds[r] : bounds[r + 1]])
+        for r in range(n_ranks)
+    ]
+
+
+def multinomial_split(
+    columns: dict[str, np.ndarray],
+    labels: np.ndarray,
+    n_ranks: int,
+    seed: int = 0,
+) -> list[Fragment]:
+    """Each record independently lands on a uniformly random rank."""
+    if n_ranks < 1:
+        raise ValueError(f"need at least one rank, got {n_ranks}")
+    n = len(labels)
+    owner = np.random.default_rng(seed).integers(0, n_ranks, n)
+    return [_take(columns, labels, np.flatnonzero(owner == r)) for r in range(n_ranks)]
+
+
+def load_fragment(
+    ctx: "RankContext",
+    schema: Schema,
+    fragments: list[Fragment],
+    batch_rows: int | None = None,
+    name: str = "train",
+) -> "ColumnSet":
+    """SPMD helper: write this rank's fragment onto its local disk.
+
+    The paper's timing starts after the initial distribution, so callers
+    normally run this in a separate program (or reset clocks) before
+    timing ``fit``.
+    """
+    from repro.ooc.columnset import ColumnSet
+
+    cols, labels = fragments[ctx.rank]
+    return ColumnSet.from_arrays(
+        ctx.disk, schema, cols, labels, name=f"{name}@{ctx.rank}", batch_rows=batch_rows
+    )

@@ -1,0 +1,140 @@
+"""CSV import/export for datasets.
+
+A practical on-ramp for real data: a header row names the columns, the
+label column is configurable, categorical columns are code-mapped in
+first-appearance order (the mapping is returned so predictions can be
+decoded). Numeric parsing failures raise with row context instead of
+silently coercing.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .schema import CATEGORICAL, LABEL_DTYPE, NUMERIC, Attribute, Schema
+
+__all__ = ["CsvCodec", "read_csv", "write_csv"]
+
+
+@dataclass
+class CsvCodec:
+    """Value↔code mappings produced by :func:`read_csv` (one dict per
+    categorical column plus the label mapping)."""
+
+    categorical: dict[str, dict[str, int]] = field(default_factory=dict)
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def decode_labels(self, codes: np.ndarray) -> list[str]:
+        inverse = {v: k for k, v in self.labels.items()}
+        return [inverse[int(c)] for c in codes]
+
+
+def _code(mapping: dict[str, int], token: str) -> int:
+    if token not in mapping:
+        mapping[token] = len(mapping)
+    return mapping[token]
+
+
+def read_csv(
+    path: str,
+    label_column: str,
+    categorical_columns: set[str] | None = None,
+) -> tuple[Schema, dict[str, np.ndarray], np.ndarray, CsvCodec]:
+    """Load a CSV into (schema, columns, labels, codec).
+
+    Columns not named in ``categorical_columns`` are parsed as float64;
+    categorical columns and labels are code-mapped in first-appearance
+    order.
+    """
+    categorical_columns = categorical_columns or set()
+    codec = CsvCodec()
+    raw_cols: dict[str, list] = {}
+    raw_labels: list[int] = []
+
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path}: missing header row")
+        names = list(reader.fieldnames)
+        if label_column not in names:
+            raise ValueError(
+                f"{path}: label column {label_column!r} not in header {names}"
+            )
+        unknown = categorical_columns - set(names)
+        if unknown:
+            raise ValueError(f"{path}: categorical columns {sorted(unknown)} not in header")
+        feature_names = [n for n in names if n != label_column]
+        for n in feature_names:
+            raw_cols[n] = []
+        for row_idx, row in enumerate(reader, start=2):
+            raw_labels.append(_code(codec.labels, row[label_column]))
+            for n in feature_names:
+                token = row[n]
+                if n in categorical_columns:
+                    raw_cols[n].append(
+                        _code(codec.categorical.setdefault(n, {}), token)
+                    )
+                else:
+                    try:
+                        raw_cols[n].append(float(token))
+                    except ValueError:
+                        raise ValueError(
+                            f"{path}:{row_idx}: column {n!r}: "
+                            f"cannot parse {token!r} as a number "
+                            f"(declare it categorical?)"
+                        ) from None
+
+    if len(codec.labels) < 2:
+        raise ValueError(f"{path}: need at least two distinct label values")
+    attributes = []
+    columns: dict[str, np.ndarray] = {}
+    for n in feature_names:
+        if n in categorical_columns:
+            cardinality = max(len(codec.categorical.get(n, {})), 2)
+            attributes.append(Attribute(n, CATEGORICAL, cardinality=cardinality))
+            columns[n] = np.asarray(raw_cols[n], dtype=np.int32)
+        else:
+            attributes.append(Attribute(n, NUMERIC))
+            columns[n] = np.asarray(raw_cols[n], dtype=np.float64)
+    schema = Schema(tuple(attributes), n_classes=len(codec.labels))
+    labels = np.asarray(raw_labels, dtype=LABEL_DTYPE)
+    return schema, columns, labels, codec
+
+
+def write_csv(
+    path: str,
+    schema: Schema,
+    columns: dict[str, np.ndarray],
+    labels: np.ndarray,
+    label_column: str = "label",
+    codec: CsvCodec | None = None,
+) -> None:
+    """Write a dataset back to CSV (codes decoded through ``codec`` when
+    provided, else written as integers)."""
+    n = schema.validate_columns(columns, labels)
+    inverse_cat = {}
+    inverse_lab = {}
+    if codec is not None:
+        inverse_cat = {
+            name: {v: k for k, v in mapping.items()}
+            for name, mapping in codec.categorical.items()
+        }
+        inverse_lab = {v: k for k, v in codec.labels.items()}
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(schema.names + [label_column])
+        for i in range(n):
+            row = []
+            for a in schema:
+                v = columns[a.name][i]
+                if not a.is_numeric and a.name in inverse_cat:
+                    row.append(inverse_cat[a.name][int(v)])
+                elif a.is_numeric:
+                    row.append(repr(float(v)))
+                else:
+                    row.append(int(v))
+            row.append(inverse_lab.get(int(labels[i]), int(labels[i])))
+            writer.writerow(row)

@@ -1,0 +1,120 @@
+"""Dataset schemas.
+
+A record has numeric and categorical attributes plus a class label
+(Section 1 of the paper). Categorical values are stored as integer codes
+``0..cardinality-1``; numeric values as float64; labels as int32 codes
+``0..n_classes-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+NUMERIC = "numeric"
+CATEGORICAL = "categorical"
+
+LABEL_DTYPE = np.dtype(np.int32)
+NUMERIC_DTYPE = np.dtype(np.float64)
+CATEGORICAL_DTYPE = np.dtype(np.int32)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One field of a record."""
+
+    name: str
+    kind: str  # NUMERIC or CATEGORICAL
+    cardinality: int = 0  # number of distinct codes; categorical only
+
+    def __post_init__(self) -> None:
+        if self.kind not in (NUMERIC, CATEGORICAL):
+            raise ValueError(f"unknown attribute kind {self.kind!r}")
+        if self.kind == CATEGORICAL and self.cardinality < 2:
+            raise ValueError(
+                f"categorical attribute {self.name!r} needs cardinality >= 2"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == NUMERIC
+
+    @property
+    def dtype(self) -> np.dtype:
+        return NUMERIC_DTYPE if self.is_numeric else CATEGORICAL_DTYPE
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered attributes plus the number of classes."""
+
+    attributes: tuple[Attribute, ...]
+    n_classes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_classes < 2:
+            raise ValueError("need at least two classes")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in {names}")
+
+    # -- lookups ----------------------------------------------------------
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        raise KeyError(f"no attribute named {name!r}")
+
+    @property
+    def names(self) -> list[str]:
+        return [a.name for a in self.attributes]
+
+    @property
+    def numeric(self) -> list[Attribute]:
+        return [a for a in self.attributes if a.is_numeric]
+
+    @property
+    def categorical(self) -> list[Attribute]:
+        return [a for a in self.attributes if not a.is_numeric]
+
+    def row_nbytes(self) -> int:
+        """Bytes per record on disk (all attribute columns + label)."""
+        return (
+            sum(a.dtype.itemsize for a in self.attributes) + LABEL_DTYPE.itemsize
+        )
+
+    def validate_columns(
+        self, columns: dict[str, np.ndarray], labels: np.ndarray
+    ) -> int:
+        """Check a column dict + label vector against this schema; returns
+        the (common) row count."""
+        if set(columns) != set(self.names):
+            raise ValueError(
+                f"columns {sorted(columns)} do not match schema {sorted(self.names)}"
+            )
+        n = len(labels)
+        for a in self.attributes:
+            if len(columns[a.name]) != n:
+                raise ValueError(
+                    f"column {a.name!r} has {len(columns[a.name])} rows, "
+                    f"labels have {n}"
+                )
+        if n and (labels.min() < 0 or labels.max() >= self.n_classes):
+            raise ValueError("label codes out of range")
+        return n
+
+
+def make_schema(
+    numeric: list[str], categorical: dict[str, int], n_classes: int = 2
+) -> Schema:
+    """Convenience constructor: numeric names + {categorical name: cardinality}."""
+    attrs = [Attribute(n, NUMERIC) for n in numeric]
+    attrs += [Attribute(n, CATEGORICAL, k) for n, k in categorical.items()]
+    return Schema(tuple(attrs), n_classes)

@@ -1,0 +1,66 @@
+"""Generic synthetic datasets beyond the Quest workload.
+
+The Quest generator is two-class with a fixed schema; these helpers make
+datasets with arbitrary class counts and attribute mixes so tests and
+examples can exercise the multi-class code paths (2^c SSE corner
+enumeration, multi-class categorical subset search, confusion matrices).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import CATEGORICAL, LABEL_DTYPE, NUMERIC, Attribute, Schema
+
+__all__ = ["make_blobs", "blob_schema"]
+
+
+def blob_schema(
+    n_numeric: int = 3, n_categorical: int = 1, cardinality: int = 4,
+    n_classes: int = 3,
+) -> Schema:
+    """Schema with ``x0..``, ``c0..`` attributes and ``n_classes`` labels."""
+    attrs = [Attribute(f"x{i}", NUMERIC) for i in range(n_numeric)]
+    attrs += [
+        Attribute(f"c{i}", CATEGORICAL, cardinality=cardinality)
+        for i in range(n_categorical)
+    ]
+    return Schema(tuple(attrs), n_classes=n_classes)
+
+
+def make_blobs(
+    n: int,
+    schema: Schema | None = None,
+    *,
+    separation: float = 3.0,
+    noise: float = 0.0,
+    seed: int = 0,
+) -> tuple[Schema, dict[str, np.ndarray], np.ndarray]:
+    """Gaussian blobs, one per class, with class-correlated categoricals.
+
+    Numeric attribute ``xi`` of class k is drawn from
+    ``N(k·separation, 1)``; categorical attribute ``ci`` equals
+    ``k mod cardinality`` with probability 0.7, else uniform. ``noise``
+    flips labels independently. Returns ``(schema, columns, labels)``.
+    """
+    if n < 0:
+        raise ValueError(f"negative record count {n}")
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError(f"noise must be a probability, got {noise}")
+    schema = schema or blob_schema()
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, schema.n_classes, n).astype(LABEL_DTYPE)
+    columns: dict[str, np.ndarray] = {}
+    for a in schema.numeric:
+        columns[a.name] = rng.normal(
+            loc=labels * separation, scale=1.0, size=n
+        )
+    for a in schema.categorical:
+        aligned = (labels % a.cardinality).astype(np.int32)
+        random = rng.integers(0, a.cardinality, n).astype(np.int32)
+        columns[a.name] = np.where(rng.random(n) < 0.7, aligned, random)
+    if noise > 0.0 and n > 0:
+        flip = rng.random(n) < noise
+        labels = labels.copy()
+        labels[flip] = rng.integers(0, schema.n_classes, int(flip.sum()))
+    return schema, columns, labels

@@ -1,0 +1,33 @@
+"""Generic parallel out-of-core divide-and-conquer techniques
+(Section 3 of the paper)."""
+
+from .cost import DncCostModel, TreeShape
+from .driver import STRATEGIES, StrategyResult, make_executor, run_strategy
+from .executors import (
+    ConcatenatedExecutor,
+    DataParallelExecutor,
+    MixedExecutor,
+    TaskOutcome,
+    TaskParallelExecutor,
+)
+from .problem import DncProblem, SyntheticDnc, synthetic_payload
+from .sorting import SampleSortResult, parallel_sample_sort
+
+__all__ = [
+    "ConcatenatedExecutor",
+    "DataParallelExecutor",
+    "DncCostModel",
+    "DncProblem",
+    "TreeShape",
+    "MixedExecutor",
+    "STRATEGIES",
+    "SampleSortResult",
+    "StrategyResult",
+    "SyntheticDnc",
+    "TaskOutcome",
+    "TaskParallelExecutor",
+    "make_executor",
+    "parallel_sample_sort",
+    "run_strategy",
+    "synthetic_payload",
+]

@@ -1,0 +1,202 @@
+"""Closed-form cost models for the Section-3 techniques.
+
+The paper reasons about the strategies analytically (redistribution is
+"very expensive", concatenated parallelism "may lead to substantial I/O
+overhead", startups dominate small tasks...). These formulas make that
+reasoning executable: given the machine models and a divide-and-conquer
+tree's shape, predict each strategy's cost — including the
+**compute-independent parallel I/O** variant of task parallelism
+(Section 3.1), which is modelled here rather than executed (its remote
+reads would need a disk-service model the executors don't carry).
+
+The `bench_strategies` analytic table cross-checks these predictions
+against the simulator's measurements, which validates both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.compute import ComputeModel
+from repro.cluster.diskmodel import DiskModel
+from repro.cluster.network import NetworkModel
+
+__all__ = ["DncCostModel", "TreeShape"]
+
+
+@dataclass(frozen=True)
+class TreeShape:
+    """Shape summary of a binary divide-and-conquer tree over n records:
+    at level d there are ~2^d tasks totalling n records (n_l + n_r = n),
+    down to tasks of ``leaf_records``."""
+
+    n_records: int
+    leaf_records: int
+    record_nbytes: int = 8
+    split_ratio: float = 0.5
+
+    @property
+    def levels(self) -> int:
+        """Depth until tasks reach leaf size (balanced-tree estimate for
+        ratio 0.5; governed by the heavier side otherwise)."""
+        if self.n_records <= self.leaf_records:
+            return 0
+        shrink = 1.0 / max(self.split_ratio, 1.0 - self.split_ratio)
+        return max(1, math.ceil(
+            math.log(self.n_records / self.leaf_records) / math.log(shrink)
+        ))
+
+    def tasks_at(self, level: int) -> int:
+        return min(2**level, max(self.n_records // self.leaf_records, 1))
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(self.tasks_at(d) for d in range(self.levels + 1))
+
+
+@dataclass(frozen=True)
+class DncCostModel:
+    """Predicts strategy costs for one machine + problem shape.
+
+    All estimates assume a memory budget small enough that whole levels
+    never fit (the out-of-core regime the paper addresses); per-task
+    in-core crossover is handled with the ``in_core_level`` helper.
+    """
+
+    network: NetworkModel
+    disk: DiskModel
+    compute: ComputeModel
+    n_ranks: int
+    summary_nbytes: int = 24
+    ops_per_record: float = 1.0
+
+    # -- building blocks -----------------------------------------------------
+    def level_bytes(self, shape: TreeShape) -> float:
+        """Bytes per rank per level (all tasks of a level together hold
+        the whole data set, randomly spread across ranks)."""
+        return shape.n_records * shape.record_nbytes / self.n_ranks
+
+    def pass_time(self, nbytes: float) -> float:
+        """One streaming pass over nbytes of local data (read)."""
+        return self.disk.access(int(nbytes))
+
+    def level_compute(self, shape: TreeShape) -> float:
+        return self.compute.cost(
+            self.ops_per_record * shape.n_records / self.n_ranks
+        )
+
+    def in_core_level(self, shape: TreeShape, memory_limit: int | None) -> int:
+        """First level at which one task's per-rank fragment fits in
+        memory (data parallelism stops re-reading there)."""
+        if memory_limit is None:
+            return 0
+        b = self.level_bytes(shape)
+        level = 0
+        while b > memory_limit and level < shape.levels:
+            b /= 2.0
+            level += 1
+        return level
+
+    # -- strategies ------------------------------------------------------------
+    def data_parallel(self, shape: TreeShape, memory_limit: int | None = None) -> float:
+        """Per level: summary pass + partition pass (+write), one combine
+        per task; tasks that fit memory drop the second read."""
+        t = 0.0
+        cross = self.in_core_level(shape, memory_limit)
+        for d in range(shape.levels):
+            nbytes = self.level_bytes(shape)
+            reads = 1 if d >= cross else 2
+            t += reads * self.pass_time(nbytes) + self.pass_time(nbytes)  # + write
+            t += 2 * self.level_compute(shape)
+            t += shape.tasks_at(d) * 2 * self.network.global_combine(
+                self.summary_nbytes, self.n_ranks
+            )
+        return t
+
+    def concatenated(self, shape: TreeShape, memory_limit: int | None = None) -> float:
+        """Same I/O structure but the level shares memory (aggregate never
+        fits: always two reads) and one spooled combine per level."""
+        t = 0.0
+        for d in range(shape.levels):
+            nbytes = self.level_bytes(shape)
+            agg_fits = memory_limit is None or nbytes <= memory_limit
+            reads = 1 if agg_fits else 2
+            t += reads * self.pass_time(nbytes) + self.pass_time(nbytes)
+            t += 2 * self.level_compute(shape)
+            t += 2 * self.network.global_combine(
+                self.summary_nbytes * shape.tasks_at(d), self.n_ranks
+            )
+        return t
+
+    def task_parallel_compute_dependent(self, shape: TreeShape) -> float:
+        """Group halving with redistribution: every level moves the data
+        once (read + alltoall + write) until groups reach size one, then
+        sequential levels follow."""
+        t = 0.0
+        split_levels = min(shape.levels, max(1, int(math.log2(self.n_ranks))))
+        for d in range(shape.levels):
+            nbytes = self.level_bytes(shape)
+            t += 2 * self.pass_time(nbytes) + self.pass_time(nbytes)
+            t += 2 * self.level_compute(shape)
+            if d < split_levels:
+                group = max(self.n_ranks >> d, 2)
+                # redistribution: read children + ship + write at dest
+                t += 2 * self.pass_time(nbytes)
+                t += self.network.alltoallv(nbytes, nbytes, group)
+                t += 2 * self.network.global_combine(self.summary_nbytes, group)
+            # after the groups reach size one there is no communication
+        return t
+
+    def task_parallel_compute_independent(self, shape: TreeShape) -> float:
+        """No redistribution: the data stays put, so a subgroup of size g
+        processing a task must fetch the fraction held outside the group
+        ((p-g)/p of the task) over the network every pass — the paper's
+        compute-independent parallel I/O."""
+        t = 0.0
+        for d in range(shape.levels):
+            nbytes_rank = self.level_bytes(shape)
+            group = max(self.n_ranks >> min(d, 30), 1)
+            remote_frac = 1.0 - group / self.n_ranks
+            # local passes (2 reads + write) at each of the serving ranks,
+            # plus shipping the remote fraction to the computing subgroup
+            t += 3 * self.pass_time(nbytes_rank)
+            t += 2 * self.level_compute(shape)
+            remote_bytes = nbytes_rank * remote_frac * 2  # both passes
+            t += self.network.p2p(remote_bytes)
+            if group > 1:
+                t += 2 * self.network.global_combine(self.summary_nbytes, group)
+        return t
+
+    def mixed(
+        self,
+        shape: TreeShape,
+        switch_records: int,
+        memory_limit: int | None = None,
+    ) -> float:
+        """Data parallelism down to ``switch_records``, then one
+        redistribution plus balanced sequential building of the rest."""
+        if switch_records >= shape.n_records:
+            switch_level = 0
+        else:
+            switch_level = min(
+                shape.levels,
+                max(0, math.ceil(math.log2(shape.n_records / switch_records))),
+            )
+        upper = TreeShape(
+            n_records=shape.n_records,
+            leaf_records=max(switch_records, shape.leaf_records),
+            record_nbytes=shape.record_nbytes,
+            split_ratio=shape.split_ratio,
+        )
+        t = self.data_parallel(upper, memory_limit)
+        # one batched exchange of everything below the switch
+        nbytes = self.level_bytes(shape)
+        t += 2 * self.pass_time(nbytes) + self.network.alltoallv(
+            nbytes, nbytes, self.n_ranks
+        )
+        # remaining levels built sequentially but task-balanced across ranks
+        remaining = max(shape.levels - switch_level, 0)
+        per_level = self.pass_time(nbytes) + self.level_compute(shape)
+        t += remaining * per_level
+        return t

@@ -1,0 +1,106 @@
+"""Runs a divide-and-conquer problem under a chosen strategy on a
+simulated cluster and reports cost breakdowns — the apparatus behind the
+Section-3 strategy comparison bench."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machine import Cluster, RankContext, SpmdRun
+from repro.data.distribute import shuffle_split
+from repro.ooc.file import OocArray
+
+from .executors import (
+    ConcatenatedExecutor,
+    DataParallelExecutor,
+    MixedExecutor,
+    TaskOutcome,
+    TaskParallelExecutor,
+)
+from .problem import DncProblem, synthetic_payload
+
+__all__ = ["StrategyResult", "run_strategy", "STRATEGIES", "make_executor"]
+
+STRATEGIES = ("data", "concatenated", "task", "mixed")
+
+
+def make_executor(name: str, **kwargs):
+    """Executor factory by strategy name."""
+    if name == "data":
+        return DataParallelExecutor()
+    if name == "concatenated":
+        return ConcatenatedExecutor()
+    if name == "task":
+        return TaskParallelExecutor()
+    if name == "mixed":
+        return MixedExecutor(**kwargs)
+    raise ValueError(f"unknown strategy {name!r}; choose from {STRATEGIES}")
+
+
+@dataclass
+class StrategyResult:
+    """Cost and tree statistics of one strategy run."""
+
+    strategy: str
+    elapsed: float
+    outcome: TaskOutcome
+    run: SpmdRun
+
+    @property
+    def bytes_read(self) -> int:
+        return self.run.stats.total.bytes_read
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.run.stats.total.bytes_sent
+
+    @property
+    def collectives(self) -> int:
+        return self.run.stats.total.collectives
+
+    def row(self) -> list:
+        """Table row for the strategy-comparison bench."""
+        return [
+            self.strategy,
+            self.elapsed,
+            self.outcome.n_tasks,
+            self.outcome.max_depth,
+            self.bytes_read,
+            self.bytes_sent,
+            self.collectives,
+        ]
+
+
+def _program(ctx: RankContext, executor, problem: DncProblem, fragments) -> TaskOutcome:
+    root = OocArray(ctx.disk, np.float64, name="dnc-root")
+    payload = fragments[ctx.rank]
+    # load in chunks so the root file is streamable
+    step = 8192
+    for lo in range(0, len(payload), step):
+        root.append(payload[lo : lo + step])
+    ctx.clock.now = 0.0  # timing starts after the initial distribution
+    return executor.run(ctx, problem, root)
+
+
+def run_strategy(
+    cluster: Cluster,
+    problem: DncProblem,
+    n_records: int,
+    strategy: str,
+    seed: int = 0,
+    **executor_kwargs,
+) -> StrategyResult:
+    """Generate a payload, distribute it at random, and build the
+    divide-and-conquer tree under ``strategy``."""
+    payload = synthetic_payload(n_records, seed=seed)
+    frags = shuffle_split({"x": payload}, np.zeros(n_records, dtype=np.int32),
+                          cluster.n_ranks, seed=seed + 1)
+    fragments = [cols["x"] for cols, _ in frags]
+    executor = make_executor(strategy, **executor_kwargs)
+    run = cluster.run(_program, executor, problem, fragments)
+    outcome = run.results[0]
+    return StrategyResult(
+        strategy=strategy, elapsed=run.elapsed, outcome=outcome, run=run
+    )

@@ -1,0 +1,420 @@
+"""The parallelisation techniques of Section 3, as executable strategies.
+
+Every executor builds the same divide-and-conquer tree for a given
+problem + payload; they differ in *who* processes each task and *when*
+data moves:
+
+* :class:`DataParallelExecutor` — every task processed by all processors
+  in sequence; no disk-resident data ever moves (Section 3.2).
+* :class:`ConcatenatedExecutor` — all tasks of a tree level processed
+  together: communication spooled into one combine per level (saving
+  message startups), but the level shares the memory budget, so tasks
+  that would fit in core alone are forced out of core (Section 3.3).
+* :class:`TaskParallelExecutor` — processor subgroups own subtrees;
+  subtask data is redistributed to its subgroup when assigned
+  (compute-dependent parallel I/O: read at sources, ship, write at the
+  destination — Section 3.1). Idle processors are not regrouped.
+* :class:`MixedExecutor` — data parallelism above a task-size threshold,
+  delayed single-processor task parallelism below it (Section 3.5 — the
+  shape pCLOUDS uses).
+
+Task accounting: a task is *counted* by exactly one rank (rank 0 of the
+group that processed it); totals are summed across ranks at the end, so
+every executor reports identical, exact tree statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.comm import Comm
+from repro.cluster.machine import RankContext
+from repro.ooc.file import OocArray
+
+from .problem import DncProblem
+
+__all__ = [
+    "TaskOutcome",
+    "DataParallelExecutor",
+    "ConcatenatedExecutor",
+    "TaskParallelExecutor",
+    "MixedExecutor",
+]
+
+_PAYLOAD_DTYPE = np.float64
+
+
+@dataclass
+class _Task:
+    task_id: int
+    depth: int
+    n_global: int
+    file: OocArray
+
+
+@dataclass
+class TaskOutcome:
+    """Tree statistics of one executor run (identical on every rank after
+    the final reconciliation)."""
+
+    n_tasks: int = 0
+    n_leaves: int = 0
+    max_depth: int = 0
+
+    def leaf(self, depth: int, count: bool = True) -> None:
+        if count:
+            self.n_tasks += 1
+            self.n_leaves += 1
+            self.max_depth = max(self.max_depth, depth)
+
+    def internal(self, depth: int, count: bool = True) -> None:
+        if count:
+            self.n_tasks += 1
+            self.max_depth = max(self.max_depth, depth)
+
+
+def _reconcile(comm: Comm, outcome: TaskOutcome) -> TaskOutcome:
+    """Sum the disjoint per-rank counts into the global tree statistics."""
+    gathered = comm.allgather((outcome.n_tasks, outcome.n_leaves, outcome.max_depth))
+    outcome.n_tasks = sum(g[0] for g in gathered)
+    outcome.n_leaves = sum(g[1] for g in gathered)
+    outcome.max_depth = max(g[2] for g in gathered)
+    return outcome
+
+
+# -- shared helpers -----------------------------------------------------------
+
+
+def _read_for_summary(ctx: RankContext, problem: DncProblem, f: OocArray, in_core: bool):
+    """Return (summary, data-or-None); in-core mode keeps the records."""
+    if in_core:
+        data = f.read_all()
+        ctx.charge_compute(ops=problem.work_ops(len(data)))
+        return problem.summarize(data), data
+    summary = None
+    for chunk in f.iter_chunks():
+        ctx.charge_compute(ops=problem.work_ops(len(chunk)))
+        s = problem.summarize(chunk)
+        summary = s if summary is None else problem.combine(summary, s)
+    if summary is None:
+        summary = problem.summarize(np.empty(0, dtype=_PAYLOAD_DTYPE))
+    return summary, None
+
+
+def _partition_local(
+    ctx: RankContext,
+    problem: DncProblem,
+    f: OocArray,
+    splitter: float,
+    data: np.ndarray | None,
+    name: str,
+) -> tuple[OocArray, OocArray, int]:
+    """Write both children on the local disk; returns (left, right,
+    local left count). Re-reads from disk unless ``data`` is resident."""
+    left = OocArray(ctx.disk, _PAYLOAD_DTYPE, name=f"{name}/L")
+    right = OocArray(ctx.disk, _PAYLOAD_DTYPE, name=f"{name}/R")
+    n_left = 0
+    chunks = [data] if data is not None else f.iter_chunks()
+    for chunk in chunks:
+        if chunk is None or len(chunk) == 0:
+            continue
+        mask = problem.goes_left(chunk, splitter)
+        ctx.charge_compute(ops=problem.work_ops(len(chunk)))
+        left.append(chunk[mask])
+        right.append(chunk[~mask])
+        n_left += int(mask.sum())
+    return left, right, n_left
+
+
+def _solve_sequential(
+    ctx: RankContext,
+    problem: DncProblem,
+    task: _Task,
+    outcome: TaskOutcome,
+    count: bool = True,
+) -> None:
+    """Solve a whole subtree on this rank alone (no communication)."""
+    stack = [task]
+    while stack:
+        t = stack.pop()
+        if problem.is_leaf(t.n_global, t.depth):
+            outcome.leaf(t.depth, count)
+            t.file.delete()
+            continue
+        in_core = ctx.memory.fits(t.file.nbytes)
+        summary, data = _read_for_summary(ctx, problem, t.file, in_core)
+        splitter = problem.splitter_from_summary(summary, t.depth)
+        left, right, n_left = _partition_local(
+            ctx, problem, t.file, splitter, data, name=t.file.name
+        )
+        t.file.delete()
+        if n_left == 0 or n_left == t.n_global:
+            # degenerate splitter: the task ends as a leaf
+            outcome.leaf(t.depth, count)
+            left.delete()
+            right.delete()
+            continue
+        outcome.internal(t.depth, count)
+        stack.append(_Task(2 * t.task_id + 2, t.depth + 1, t.n_global - n_left, right))
+        stack.append(_Task(2 * t.task_id + 1, t.depth + 1, n_left, left))
+
+
+def _process_one_data_parallel(
+    ctx: RankContext,
+    comm: Comm,
+    problem: DncProblem,
+    t: _Task,
+) -> tuple[_Task | None, _Task | None, int]:
+    """All group members process one task; returns the child tasks (None
+    for degenerate splits) and the global left count."""
+    in_core = ctx.memory.fits(t.file.nbytes)
+    summary, data = _read_for_summary(ctx, problem, t.file, in_core)
+    global_summary = comm.allreduce(summary, op=problem.combine)
+    splitter = problem.splitter_from_summary(global_summary, t.depth)
+    left, right, n_left_local = _partition_local(
+        ctx, problem, t.file, splitter, data, name=t.file.name
+    )
+    t.file.delete()
+    n_left = int(comm.allreduce(n_left_local))
+    if n_left == 0 or n_left == t.n_global:
+        left.delete()
+        right.delete()
+        return None, None, n_left
+    return (
+        _Task(2 * t.task_id + 1, t.depth + 1, n_left, left),
+        _Task(2 * t.task_id + 2, t.depth + 1, t.n_global - n_left, right),
+        n_left,
+    )
+
+
+# -- data parallelism ----------------------------------------------------------
+
+
+class DataParallelExecutor:
+    """Tasks one after another, all processors on each (Section 3.2)."""
+
+    name = "data"
+
+    def run(self, ctx: RankContext, problem: DncProblem, root: OocArray) -> TaskOutcome:
+        outcome = TaskOutcome()
+        comm = ctx.comm
+        count = comm.rank == 0
+        n_root = int(comm.allreduce(len(root)))
+        queue: deque[_Task] = deque([_Task(0, 0, n_root, root)])
+        while queue:
+            t = queue.popleft()
+            if problem.is_leaf(t.n_global, t.depth):
+                outcome.leaf(t.depth, count)
+                t.file.delete()
+                continue
+            lt, rt, n_left = _process_one_data_parallel(ctx, comm, problem, t)
+            if lt is None:
+                outcome.leaf(t.depth, count)  # degenerate split: a leaf
+                continue
+            outcome.internal(t.depth, count)
+            queue.append(lt)
+            queue.append(rt)
+        return _reconcile(comm, outcome)
+
+
+# -- concatenated parallelism ---------------------------------------------------
+
+
+class ConcatenatedExecutor:
+    """All tasks of a level together: one spooled combine per level, but
+    the level shares the memory budget (Section 3.3)."""
+
+    name = "concatenated"
+
+    def run(self, ctx: RankContext, problem: DncProblem, root: OocArray) -> TaskOutcome:
+        outcome = TaskOutcome()
+        comm = ctx.comm
+        count = comm.rank == 0
+        n_root = int(comm.allreduce(len(root)))
+        level: list[_Task] = [_Task(0, 0, n_root, root)]
+        while level:
+            active: list[_Task] = []
+            for t in level:
+                if problem.is_leaf(t.n_global, t.depth):
+                    outcome.leaf(t.depth, count)
+                    t.file.delete()
+                else:
+                    active.append(t)
+            if not active:
+                break
+            # the whole level shares main memory: in-core only if the
+            # aggregate of the concatenated tasks fits
+            level_bytes = sum(t.file.nbytes for t in active)
+            in_core = ctx.memory.fits(level_bytes)
+            summaries, resident = [], []
+            for t in active:
+                s, data = _read_for_summary(ctx, problem, t.file, in_core)
+                summaries.append(s)
+                resident.append(data)
+            # communication for the whole level spooled into ONE combine
+            global_summaries = comm.allreduce(
+                summaries,
+                op=lambda a, b: [problem.combine(x, y) for x, y in zip(a, b)],
+            )
+            left_counts_local = []
+            children: list[tuple[_Task, OocArray, OocArray]] = []
+            for t, gs, data in zip(active, global_summaries, resident):
+                splitter = problem.splitter_from_summary(gs, t.depth)
+                left, right, n_left_local = _partition_local(
+                    ctx, problem, t.file, splitter, data, name=t.file.name
+                )
+                t.file.delete()
+                left_counts_local.append(n_left_local)
+                children.append((t, left, right))
+            left_counts = comm.allreduce(
+                np.asarray(left_counts_local, dtype=np.int64)
+            )
+            next_level: list[_Task] = []
+            for (t, left, right), n_left in zip(children, np.atleast_1d(left_counts)):
+                n_left = int(n_left)
+                if n_left == 0 or n_left == t.n_global:
+                    outcome.leaf(t.depth, count)  # degenerate split: a leaf
+                    left.delete()
+                    right.delete()
+                    continue
+                outcome.internal(t.depth, count)
+                next_level.append(_Task(2 * t.task_id + 1, t.depth + 1, n_left, left))
+                next_level.append(
+                    _Task(2 * t.task_id + 2, t.depth + 1, t.n_global - n_left, right)
+                )
+            level = next_level
+        return _reconcile(comm, outcome)
+
+
+# -- task parallelism -----------------------------------------------------------
+
+
+class TaskParallelExecutor:
+    """Processor subgroups own subtrees; subtask data moves to its
+    subgroup when assigned (compute-dependent parallel I/O, Section 3.1)."""
+
+    name = "task"
+
+    def run(self, ctx: RankContext, problem: DncProblem, root: OocArray) -> TaskOutcome:
+        outcome = TaskOutcome()
+        n_root = int(ctx.comm.allreduce(len(root)))
+        self._solve(ctx, ctx.comm, problem, _Task(0, 0, n_root, root), outcome)
+        return _reconcile(ctx.comm, outcome)
+
+    def _solve(
+        self,
+        ctx: RankContext,
+        comm: Comm,
+        problem: DncProblem,
+        task: _Task,
+        outcome: TaskOutcome,
+    ) -> None:
+        if comm.size == 1:
+            _solve_sequential(ctx, problem, task, outcome)
+            return
+        count = comm.rank == 0
+        if problem.is_leaf(task.n_global, task.depth):
+            outcome.leaf(task.depth, count)
+            task.file.delete()
+            return
+        lt, rt, n_left = _process_one_data_parallel(ctx, comm, problem, task)
+        if lt is None:
+            outcome.leaf(task.depth, count)  # degenerate split: a leaf
+            return
+        outcome.internal(task.depth, count)
+        # split the group proportionally to subtask cost (at least 1 each)
+        g_left = min(
+            max(1, round(comm.size * lt.n_global / task.n_global)), comm.size - 1
+        )
+        my_side = 0 if comm.rank < g_left else 1
+        # redistribute: each child's fragments move to its subgroup
+        # (read at the source, ship, write at the destination)
+        parts: list[np.ndarray | None] = [None] * comm.size
+        for child, g_lo, g_n in ((lt, 0, g_left), (rt, g_left, comm.size - g_left)):
+            payload = child.file.read_all()
+            child.file.delete()
+            bounds = np.linspace(0, len(payload), g_n + 1).astype(np.int64)
+            for i in range(g_n):
+                parts[g_lo + i] = payload[bounds[i] : bounds[i + 1]]
+        incoming = comm.alltoall(parts)
+        mine = OocArray(
+            ctx.disk, _PAYLOAD_DTYPE, name=f"{task.file.name}/tp{task.depth}"
+        )
+        for piece in incoming:
+            if piece is not None and len(piece):
+                mine.append(piece)
+        sub = comm.split(my_side)
+        my_task = lt if my_side == 0 else rt
+        self._solve(
+            ctx,
+            sub,
+            problem,
+            _Task(my_task.task_id, my_task.depth, my_task.n_global, mine),
+            outcome,
+        )
+
+
+# -- mixed parallelism ------------------------------------------------------------
+
+
+class MixedExecutor:
+    """Data parallelism for large tasks, delayed single-processor task
+    parallelism for small ones (Section 3.5)."""
+
+    name = "mixed"
+
+    def __init__(self, switch_records: int | None = None) -> None:
+        self.switch_records = switch_records
+
+    def run(self, ctx: RankContext, problem: DncProblem, root: OocArray) -> TaskOutcome:
+        outcome = TaskOutcome()
+        comm = ctx.comm
+        count = comm.rank == 0
+        n_root = int(comm.allreduce(len(root)))
+        switch = self.switch_records or max(1, n_root // (8 * comm.size))
+        queue: deque[_Task] = deque([_Task(0, 0, n_root, root)])
+        small: list[_Task] = []
+        while queue:
+            t = queue.popleft()
+            if problem.is_leaf(t.n_global, t.depth):
+                outcome.leaf(t.depth, count)
+                t.file.delete()
+                continue
+            if t.n_global <= switch:
+                small.append(t)
+                continue
+            lt, rt, n_left = _process_one_data_parallel(ctx, comm, problem, t)
+            if lt is None:
+                outcome.leaf(t.depth, count)  # degenerate split: a leaf
+                continue
+            outcome.internal(t.depth, count)
+            queue.append(lt)
+            queue.append(rt)
+
+        # delayed task parallelism: LPT assignment, one batched exchange
+        small.sort(key=lambda t: t.task_id)
+        loads = [0.0] * comm.size
+        owner_of: dict[int, int] = {}
+        for k in sorted(range(len(small)), key=lambda k: (-small[k].n_global, k)):
+            r = min(range(comm.size), key=lambda i: (loads[i], i))
+            loads[r] += small[k].n_global
+            owner_of[k] = r
+        parts: list[dict[int, np.ndarray]] = [dict() for _ in range(comm.size)]
+        for k, t in enumerate(small):
+            dest = owner_of[k]
+            if dest != comm.rank:
+                if len(t.file):
+                    parts[dest][k] = t.file.read_all()
+                t.file.delete()
+        incoming = comm.alltoall(parts)
+        for k, t in enumerate(small):
+            if owner_of[k] != comm.rank:
+                continue
+            for src in incoming:
+                if k in src and len(src[k]):
+                    t.file.append(src[k])  # destination write of the I/O
+            _solve_sequential(ctx, problem, t, outcome, count=True)
+        return _reconcile(comm, outcome)

@@ -1,0 +1,107 @@
+"""Generic divide-and-conquer problems (Section 3's problem statement).
+
+A problem instance is a payload of records; each internal task derives a
+*splitter* from a small additive summary of its data and routes every
+record to one of two subtasks. The additive-summary restriction is what
+makes every parallelisation technique in Section 3 applicable: local
+summaries combine with one global reduction regardless of how the records
+are laid out across processors.
+
+:class:`SyntheticDnc` is the workload generator for the strategy
+benchmarks: splitter = an approximate quantile (so the left/right ratio —
+the *shape* of the divide-and-conquer tree — is a parameter), work cost
+linear in the task size as in classification-tree construction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["DncProblem", "SyntheticDnc", "synthetic_payload"]
+
+
+class DncProblem(ABC):
+    """A binary divide-and-conquer problem over 1-D float payloads."""
+
+    @abstractmethod
+    def summarize(self, data: np.ndarray) -> Any:
+        """Small local summary of a fragment (combinable)."""
+
+    @abstractmethod
+    def combine(self, a: Any, b: Any) -> Any:
+        """Merge two summaries (associative, commutative)."""
+
+    @abstractmethod
+    def splitter_from_summary(self, summary: Any, depth: int) -> float:
+        """Derive the task's splitter from the global summary."""
+
+    def goes_left(self, data: np.ndarray, splitter: float) -> np.ndarray:
+        """Route records (default: value <= splitter)."""
+        return data <= splitter
+
+    @abstractmethod
+    def is_leaf(self, n_global: int, depth: int) -> bool:
+        """Stopping criterion, a function of global task size and depth."""
+
+    def work_ops(self, n_local: int) -> float:
+        """Abstract CPU operations charged per pass over ``n_local``
+        records (default: one op per record)."""
+        return float(n_local)
+
+    def summary_nbytes(self) -> int:
+        """Wire size of one summary (for communication accounting)."""
+        return 64
+
+
+@dataclass(frozen=True)
+class SyntheticDnc(DncProblem):
+    """Range-splitting workload with controllable tree shape.
+
+    The summary is ``(count, min, max)``; the splitter cuts each task's
+    value range at ``split_ratio`` (0.5 gives a balanced tree — uniform
+    payloads split evenly at every depth; 0.9 a skewed 'list-like' tree).
+    ``leaf_records`` — tasks at or below this size are leaves;
+    ``work_per_record`` — CPU ops per record per pass.
+    """
+
+    leaf_records: int = 256
+    split_ratio: float = 0.5
+    work_per_record: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.split_ratio < 1.0:
+            raise ValueError(f"split_ratio must be in (0,1), got {self.split_ratio}")
+        if self.leaf_records < 1:
+            raise ValueError("leaf_records must be positive")
+
+    def summarize(self, data: np.ndarray) -> tuple[int, float, float]:
+        if len(data) == 0:
+            return (0, np.inf, -np.inf)
+        return (int(len(data)), float(data.min()), float(data.max()))
+
+    def combine(self, a, b):
+        return (a[0] + b[0], min(a[1], b[1]), max(a[2], b[2]))
+
+    def splitter_from_summary(self, summary, depth: int) -> float:
+        n, lo, hi = summary
+        if n == 0 or not np.isfinite(lo):
+            return 0.0
+        return lo + (hi - lo) * self.split_ratio
+
+    def is_leaf(self, n_global: int, depth: int) -> bool:
+        return n_global <= self.leaf_records
+
+    def work_ops(self, n_local: int) -> float:
+        return self.work_per_record * n_local
+
+    def summary_nbytes(self) -> int:
+        return 24
+
+
+def synthetic_payload(n: int, seed: int = 0) -> np.ndarray:
+    """Uniform payload in [0, 1) for :class:`SyntheticDnc`."""
+    return np.random.default_rng(seed).random(n)

@@ -1,0 +1,23 @@
+"""Out-of-core storage substrate: per-rank simulated disks holding
+chunked, column-oriented files, plus the main-memory budget that decides
+when a node must be processed out-of-core."""
+
+from .backend import FileBackend, InMemoryBackend, StorageBackend
+from .columnset import ColumnSet
+from .disk import LocalDisk
+from .extsort import external_sort, is_globally_sorted
+from .file import OocArray
+from .memory import MemoryBudget, MemoryExceededError
+
+__all__ = [
+    "ColumnSet",
+    "FileBackend",
+    "InMemoryBackend",
+    "LocalDisk",
+    "external_sort",
+    "is_globally_sorted",
+    "MemoryBudget",
+    "MemoryExceededError",
+    "OocArray",
+    "StorageBackend",
+]

@@ -1,0 +1,95 @@
+"""Storage backends for the simulated local disks.
+
+The default :class:`InMemoryBackend` keeps chunk payloads in host RAM —
+the *time* of every access is still charged by the disk model, which is
+what the paper's results depend on — while :class:`FileBackend` really
+spools chunks to ``.npy`` files so integration tests can confirm the
+out-of-core code path never assumes residency.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class StorageBackend(ABC):
+    """Chunk store: opaque handles in, numpy arrays out."""
+
+    @abstractmethod
+    def put(self, arr: np.ndarray) -> object:
+        """Persist one chunk; returns a handle."""
+
+    @abstractmethod
+    def get(self, handle: object) -> np.ndarray:
+        """Load one chunk by handle."""
+
+    @abstractmethod
+    def delete(self, handle: object) -> None:
+        """Free one chunk."""
+
+    def close(self) -> None:
+        """Release all backend resources (idempotent)."""
+
+
+class InMemoryBackend(StorageBackend):
+    """Holds chunk payloads in RAM; copies on put/get so callers cannot
+    alias 'disk' contents (matching real-disk semantics)."""
+
+    def __init__(self) -> None:
+        self._chunks: dict[int, np.ndarray] = {}
+        self._next = 0
+
+    def put(self, arr: np.ndarray) -> object:
+        handle = self._next
+        self._next += 1
+        self._chunks[handle] = np.array(arr, copy=True)
+        return handle
+
+    def get(self, handle: object) -> np.ndarray:
+        return self._chunks[handle].copy()
+
+    def delete(self, handle: object) -> None:
+        self._chunks.pop(handle, None)
+
+    def close(self) -> None:
+        self._chunks.clear()
+
+    def resident_bytes(self) -> int:
+        """Total payload currently stored (test/diagnostic hook)."""
+        return sum(a.nbytes for a in self._chunks.values())
+
+
+class FileBackend(StorageBackend):
+    """Spools each chunk to its own ``.npy`` file under a spool directory."""
+
+    def __init__(self, root: str | None = None) -> None:
+        self._owns_root = root is None
+        self.root = root or tempfile.mkdtemp(prefix="repro-spool-")
+        os.makedirs(self.root, exist_ok=True)
+        self._next = 0
+        self.chunks_created = 0  # lifetime count (files may be deleted later)
+
+    def put(self, arr: np.ndarray) -> object:
+        path = os.path.join(self.root, f"chunk-{self._next:08d}.npy")
+        self._next += 1
+        self.chunks_created += 1
+        np.save(path, arr, allow_pickle=False)
+        return path
+
+    def get(self, handle: object) -> np.ndarray:
+        return np.load(str(handle), allow_pickle=False)
+
+    def delete(self, handle: object) -> None:
+        try:
+            os.unlink(str(handle))
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        if self._owns_root:
+            shutil.rmtree(self.root, ignore_errors=True)

@@ -1,0 +1,126 @@
+"""Column-oriented, disk-resident storage of one node's local fragment.
+
+pCLOUDS (like CLOUDS/SPRINT) stores each attribute in its own file so a
+splitting pass can stream exactly the columns it needs. A
+:class:`ColumnSet` keeps one :class:`~repro.ooc.file.OocArray` per
+attribute plus one for the labels, with chunk boundaries aligned so
+batched scans see matching rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.schema import LABEL_DTYPE, Schema
+
+from .disk import LocalDisk
+from .file import OocArray
+
+
+class ColumnSet:
+    """Aligned per-attribute files + labels for one node fragment."""
+
+    def __init__(self, disk: LocalDisk, schema: Schema, name: str = "") -> None:
+        self.disk = disk
+        self.schema = schema
+        self.name = name
+        self._columns: dict[str, OocArray] = {
+            a.name: OocArray(disk, a.dtype, name=f"{name}/{a.name}")
+            for a in schema
+        }
+        self._labels = OocArray(disk, LABEL_DTYPE, name=f"{name}/labels")
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        disk: LocalDisk,
+        schema: Schema,
+        columns: dict[str, np.ndarray],
+        labels: np.ndarray,
+        name: str = "",
+        batch_rows: int | None = None,
+    ) -> "ColumnSet":
+        """Write in-memory columns to disk (optionally in batches, which
+        sets the chunking granularity for later scans)."""
+        cs = cls(disk, schema, name=name)
+        n = schema.validate_columns(columns, labels)
+        step = batch_rows or max(n, 1)
+        for lo in range(0, n, step):
+            hi = min(lo + step, n)
+            cs.append_batch({k: v[lo:hi] for k, v in columns.items()}, labels[lo:hi])
+        return cs
+
+    # -- writing ----------------------------------------------------------
+    def append_batch(self, columns: dict[str, np.ndarray], labels: np.ndarray) -> None:
+        """Append aligned rows to every column file."""
+        n = self.schema.validate_columns(columns, labels)
+        if n == 0:
+            return
+        for a in self.schema:
+            self._columns[a.name].append(columns[a.name])
+        self._labels.append(labels)
+
+    # -- reading ----------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return len(self._labels)
+
+    @property
+    def nbytes(self) -> int:
+        return self._labels.nbytes + sum(c.nbytes for c in self._columns.values())
+
+    def column(self, name: str) -> OocArray:
+        return self._columns[name]
+
+    @property
+    def labels_file(self) -> OocArray:
+        return self._labels
+
+    def read_column(self, name: str) -> np.ndarray:
+        return self._columns[name].read_all()
+
+    def read_labels(self) -> np.ndarray:
+        return self._labels.read_all()
+
+    def read_all(self) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        """Materialise every column (the in-core path for small nodes)."""
+        return (
+            {name: f.read_all() for name, f in self._columns.items()},
+            self._labels.read_all(),
+        )
+
+    def iter_batches(self) -> Iterator[tuple[dict[str, np.ndarray], np.ndarray]]:
+        """Stream aligned batches of all columns + labels, one disk chunk
+        at a time (the out-of-core scan)."""
+        col_iters = {name: f.iter_chunks() for name, f in self._columns.items()}
+        for label_chunk in self._labels.iter_chunks():
+            batch = {name: next(it) for name, it in col_iters.items()}
+            for name, arr in batch.items():
+                if len(arr) != len(label_chunk):
+                    raise RuntimeError(
+                        f"misaligned chunks in ColumnSet {self.name!r}: "
+                        f"column {name} has {len(arr)} rows vs {len(label_chunk)} labels"
+                    )
+            yield batch, label_chunk
+
+    def iter_column_with_labels(
+        self, name: str
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Stream one attribute column alongside labels (the per-attribute
+        statistics pass reads only what it needs)."""
+        lab_it = self._labels.iter_chunks()
+        for values in self._columns[name].iter_chunks():
+            yield values, next(lab_it)
+
+    # -- lifecycle ----------------------------------------------------------
+    def delete(self) -> None:
+        """Free all files (nodes are deleted once both children are written)."""
+        for f in self._columns.values():
+            f.delete()
+        self._labels.delete()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnSet(name={self.name!r}, nrows={self.nrows})"

@@ -1,0 +1,49 @@
+"""One simulated local disk per shared-nothing node.
+
+Every read/write of an :class:`repro.ooc.file.OocArray` goes through its
+rank's :class:`LocalDisk`, which charges the disk model's seek+transfer
+time to the rank's clock and records volumes in the rank's stats. There is
+no contention model between ranks — each node owns its disk, which is
+exactly the paper's shared-nothing assumption.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.clock import SimClock
+from repro.cluster.diskmodel import DiskModel
+from repro.cluster.stats import RankStats
+
+from .backend import InMemoryBackend, StorageBackend
+
+
+class LocalDisk:
+    """Charges simulated time for chunk traffic and tracks volumes."""
+
+    def __init__(
+        self,
+        model: DiskModel,
+        clock: SimClock,
+        stats: RankStats,
+        backend: StorageBackend | None = None,
+    ) -> None:
+        self.model = model
+        self.clock = clock
+        self.stats = stats
+        self.backend = backend if backend is not None else InMemoryBackend()
+
+    def charge_read(self, nbytes: int, *, sequential: bool = True) -> None:
+        dt = self.model.access(nbytes, sequential=sequential)
+        self.clock.advance(dt)
+        self.stats.io_time += dt
+        self.stats.bytes_read += int(nbytes)
+        self.stats.io_calls += 1
+
+    def charge_write(self, nbytes: int, *, sequential: bool = True) -> None:
+        dt = self.model.access(nbytes, sequential=sequential)
+        self.clock.advance(dt)
+        self.stats.io_time += dt
+        self.stats.bytes_written += int(nbytes)
+        self.stats.io_calls += 1
+
+    def close(self) -> None:
+        self.backend.close()

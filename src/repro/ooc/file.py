@@ -1,0 +1,87 @@
+"""Append-only chunked array files on a simulated local disk.
+
+An :class:`OocArray` is the unit of disk-resident data: one attribute
+column (or the label column) of one tree node's local fragment. Writers
+append numpy chunks; readers stream chunks back in order. Every access
+charges the owning disk.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .disk import LocalDisk
+
+
+class OocArray:
+    """A 1-D disk-resident array of fixed dtype, stored as ordered chunks."""
+
+    def __init__(self, disk: LocalDisk, dtype: np.dtype | str, name: str = "") -> None:
+        self.disk = disk
+        self.dtype = np.dtype(dtype)
+        self.name = name
+        self._handles: list[object] = []
+        self._lengths: list[int] = []
+        self._closed = False
+
+    # -- properties -----------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(self._lengths)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self) * self.dtype.itemsize
+
+    @property
+    def nchunks(self) -> int:
+        return len(self._handles)
+
+    # -- writing ----------------------------------------------------------------
+    def append(self, arr: np.ndarray) -> None:
+        """Append one chunk (charged as one sequential write)."""
+        self._check_open()
+        arr = np.ascontiguousarray(arr, dtype=self.dtype)
+        if arr.ndim != 1:
+            raise ValueError(f"OocArray holds 1-D data, got shape {arr.shape}")
+        if arr.size == 0:
+            return
+        self.disk.charge_write(arr.nbytes)
+        self._handles.append(self.disk.backend.put(arr))
+        self._lengths.append(arr.size)
+
+    # -- reading ----------------------------------------------------------------
+    def iter_chunks(self) -> Iterator[np.ndarray]:
+        """Stream the file's chunks in order (one sequential read each)."""
+        self._check_open()
+        for handle, length in zip(self._handles, self._lengths):
+            self.disk.charge_read(length * self.dtype.itemsize)
+            yield self.disk.backend.get(handle)
+
+    def read_all(self) -> np.ndarray:
+        """Materialise the whole file in memory (one sequential scan)."""
+        self._check_open()
+        if not self._handles:
+            return np.empty(0, dtype=self.dtype)
+        self.disk.charge_read(self.nbytes)
+        return np.concatenate([self.disk.backend.get(h) for h in self._handles])
+
+    # -- lifecycle ----------------------------------------------------------------
+    def delete(self) -> None:
+        """Free the file's chunks (deleting a file costs no data transfer)."""
+        for h in self._handles:
+            self.disk.backend.delete(h)
+        self._handles.clear()
+        self._lengths.clear()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"OocArray {self.name!r} has been deleted")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OocArray(name={self.name!r}, dtype={self.dtype}, "
+            f"len={len(self)}, chunks={self.nchunks})"
+        )

@@ -1,0 +1,37 @@
+"""Shared fixtures: small Quest datasets and cluster factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.data import generate_quest, quest_schema
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return quest_schema()
+
+
+@pytest.fixture(scope="session")
+def quest_small():
+    """2,000 function-2 records with a little label noise."""
+    return generate_quest(2000, function=2, seed=7, noise=0.02)
+
+
+@pytest.fixture(scope="session")
+def quest_clean():
+    """4,000 noise-free function-2 records."""
+    return generate_quest(4000, function=2, seed=11, noise=0.0)
+
+
+@pytest.fixture
+def cluster4():
+    return Cluster(4, seed=0, timeout=60.0)
+
+
+def make_cluster(p: int, **kwargs) -> Cluster:
+    kwargs.setdefault("seed", 0)
+    kwargs.setdefault("timeout", 60.0)
+    return Cluster(p, **kwargs)

@@ -1,0 +1,89 @@
+"""Acceptance test: the full workflow a downstream adopter would run,
+end to end, across every major subsystem in one story."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import scaled_models
+from repro.cluster import Cluster
+from repro.clouds import (
+    CloudsConfig,
+    accuracy,
+    gini_importance,
+    mdl_prune,
+    train_test_split,
+    validate_tree,
+)
+from repro.core import (
+    DistributedDataset,
+    PClouds,
+    PCloudsConfig,
+    parallel_evaluate,
+)
+from repro.data import generate_quest, quest_schema, read_csv, write_csv
+
+
+@pytest.mark.slow
+def test_full_adoption_story(tmp_path):
+    schema = quest_schema()
+
+    # 1. data arrives as CSV
+    columns, labels = generate_quest(6000, function=2, seed=71, noise=0.05)
+    csv_path = str(tmp_path / "train.csv")
+    write_csv(csv_path, schema, columns, labels)
+    schema2, columns, labels, codec = read_csv(
+        csv_path, label_column="label",
+        categorical_columns={"elevel", "car", "zipcode"},
+    )
+    tr_c, tr_y, te_c, te_y = train_test_split(columns, labels, 0.25, seed=72)
+
+    # 2. a 8-node machine with paper-regime cost models and a real memory
+    # limit, fitting with the distributed exchange and the auto switch
+    net, disk, compute = scaled_models(100.0)
+    cluster = Cluster(
+        8, network=net, disk=disk, compute=compute,
+        memory_limit=32 * 1024, seed=0, timeout=300.0,
+    )
+    data = DistributedDataset.create(cluster, schema2, tr_c, tr_y, seed=73)
+    result = PClouds(
+        PCloudsConfig(
+            clouds=CloudsConfig(
+                method="sse", q_root=150, sample_size=900, min_node=16
+            ),
+            q_switch="auto",
+            exchange="distributed",
+        )
+    ).fit(data, seed=74)
+    validate_tree(result.tree)
+    assert result.elapsed > 0
+    assert result.n_large_nodes > 0 and result.n_small_tasks > 0
+    # I/O balanced across the machine (Lemma 2)
+    assert result.run.stats.imbalance("bytes_read") < 1.3
+
+    # 3. prune at the front-end, persist, reload
+    tree, _ = mdl_prune(result.tree)
+    model_path = str(tmp_path / "model.json")
+    tree.save(model_path)
+    from repro.clouds import DecisionTree
+
+    tree = DecisionTree.load(model_path, schema2)
+
+    # 4. distributed evaluation of the holdout
+    test_cluster = Cluster(
+        8, network=net, disk=disk, compute=compute, seed=1, timeout=300.0
+    )
+    test_data = DistributedDataset.create(
+        test_cluster, schema2, te_c, te_y, seed=75
+    )
+    ev = parallel_evaluate(test_data, tree)
+    assert ev.accuracy == pytest.approx(accuracy(te_y, tree.predict(te_c)))
+    assert ev.accuracy > 0.85
+
+    # 5. the model makes sense: function 2 is an (age, salary) concept
+    imp = gini_importance(tree)
+    top_two = sorted(imp, key=imp.get, reverse=True)[:2]
+    assert set(top_two) == {"age", "salary"}
+
+    # 6. decode predictions back to the CSV's label vocabulary
+    decoded = codec.decode_labels(tree.predict(te_c)[:5])
+    assert set(decoded) <= set(codec.labels)

@@ -1,0 +1,82 @@
+"""Edge coverage for the bench harness, reporting, and CLI error paths."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentConfig, speedup_series
+from repro.bench.reporting import format_series, format_table
+from repro.cli import main
+
+
+class TestSpeedupSeries:
+    def test_base_computed_when_series_lacks_p1(self):
+        pts = speedup_series(
+            2000, [2, 4], q_root=40, sample_size=200, min_node=64, seed=1
+        )
+        assert [p.n_ranks for p in pts] == [2, 4]
+        # speedups are relative to an implicit p=1 run
+        assert pts[0].speedup > 1.0
+        assert pts[1].speedup > pts[0].speedup
+
+    def test_points_carry_results(self):
+        pts = speedup_series(
+            1500, [1], q_root=30, sample_size=150, min_node=64, seed=2
+        )
+        assert pts[0].result.tree.n_nodes >= 1
+        assert pts[0].elapsed == pts[0].result.elapsed
+
+
+class TestExperimentConfigEdges:
+    def test_memory_floor(self):
+        cfg = ExperimentConfig(n_records=10, n_ranks=1)
+        assert cfg.memory_limit_bytes(64) == 4096  # clamped floor
+
+    def test_explicit_sample_wins(self):
+        cfg = ExperimentConfig(n_records=10_000, n_ranks=2, sample_size=123)
+        assert cfg.resolved_sample() == 123
+
+    def test_q_root_floor(self):
+        cfg = ExperimentConfig(n_records=100, n_ranks=1)
+        assert cfg.resolved_q_root() >= 20
+
+
+class TestReportingEdges:
+    def test_zero_and_negative_values(self):
+        text = format_table(["v"], [[0.0], [-1.25], [1e-9]])
+        assert "0" in text and "-1.25" in text and "1e-09" in text
+
+    def test_mixed_types_in_rows(self):
+        text = format_table(["a", "b"], [["x", 1], [2.5, "y"]])
+        assert "x" in text and "2.5" in text
+
+    def test_series_empty(self):
+        assert format_series("s", [], []) == "s: "
+
+    def test_column_width_fits_longest(self):
+        text = format_table(["h"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[1]) >= len("a-much-longer-cell")
+
+
+class TestCliErrors:
+    def test_evaluate_missing_tree_file(self, tmp_path):
+        data = str(tmp_path / "d.npz")
+        main(["generate", "--records", "50", "--out", data])
+        with pytest.raises(FileNotFoundError):
+            main(["evaluate", str(tmp_path / "ghost.json"), data])
+
+    def test_train_missing_data_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["train", str(tmp_path / "ghost.npz")])
+
+    def test_train_rejects_foreign_npz(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, labels=np.zeros(3, dtype=np.int32), something=np.ones(3))
+        with pytest.raises(ValueError):
+            main(["train", path])
+
+    def test_generate_zero_records(self, tmp_path, capsys):
+        out = str(tmp_path / "empty.npz")
+        assert main(["generate", "--records", "0", "--out", out]) == 0
+        with np.load(out) as archive:
+            assert len(archive["labels"]) == 0

@@ -1,0 +1,154 @@
+"""Sequential CLOUDS: in-core and out-of-core paths, sampling, config."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.clock import SimClock
+from repro.cluster.diskmodel import DiskModel
+from repro.cluster.stats import RankStats
+from repro.clouds.builder import CloudsBuilder, CloudsConfig, draw_sample
+from repro.clouds.metrics import accuracy
+from repro.clouds.tree import validate_tree
+from repro.ooc import ColumnSet, InMemoryBackend, LocalDisk
+
+
+def make_disk():
+    return LocalDisk(DiskModel(), SimClock(), RankStats(), InMemoryBackend())
+
+
+@pytest.fixture
+def loaded(schema, quest_small):
+    cols, labels = quest_small
+    disk = make_disk()
+    cs = ColumnSet.from_arrays(disk, schema, cols, labels, batch_rows=256)
+    return cs, cols, labels, disk
+
+
+class TestConfig:
+    def test_method_validated(self):
+        with pytest.raises(ValueError):
+            CloudsConfig(method="magic")
+
+    def test_q_root_validated(self):
+        with pytest.raises(ValueError):
+            CloudsConfig(q_root=1)
+
+    def test_sample_size_validated(self):
+        with pytest.raises(ValueError):
+            CloudsConfig(sample_size=0)
+
+    def test_stopping_built_from_fields(self):
+        cfg = CloudsConfig(min_node=7, max_depth=3, purity=0.8)
+        rule = cfg.stopping()
+        assert rule.min_node == 7 and rule.max_depth == 3 and rule.purity == 0.8
+
+
+class TestDrawSample:
+    def test_sample_size_and_membership(self, loaded):
+        cs, cols, labels, _ = loaded
+        sc, sl = draw_sample(cs, 150, np.random.default_rng(0))
+        assert len(sl) == 150
+        assert np.isin(sc["salary"], cols["salary"]).all()
+
+    def test_sample_larger_than_data_capped(self, loaded):
+        cs, _, labels, _ = loaded
+        _, sl = draw_sample(cs, 10**6, np.random.default_rng(0))
+        assert len(sl) == len(labels)
+
+    def test_sample_rows_stay_aligned(self, loaded):
+        cs, cols, labels, _ = loaded
+        sc, sl = draw_sample(cs, 200, np.random.default_rng(1))
+        pairs = set(zip(cols["salary"].tolist(), labels.tolist()))
+        assert all((s, l) in pairs for s, l in zip(sc["salary"], sl))
+
+    def test_empty_columnset(self, schema):
+        cs = ColumnSet(make_disk(), schema)
+        sc, sl = draw_sample(cs, 10, np.random.default_rng(0))
+        assert len(sl) == 0
+        assert set(sc) == set(schema.names)
+
+
+class TestInCoreBuilder:
+    def test_fit_arrays_accuracy(self, schema, quest_small):
+        cols, labels = quest_small
+        tree = CloudsBuilder(
+            schema, CloudsConfig(method="sse", q_root=60, sample_size=500)
+        ).fit_arrays(cols, labels, seed=1)
+        validate_tree(tree)
+        assert accuracy(labels, tree.predict(cols)) > 0.9
+
+    def test_ss_vs_sse_both_valid(self, schema, quest_small):
+        cols, labels = quest_small
+        for method in ("ss", "sse"):
+            tree = CloudsBuilder(
+                schema,
+                CloudsConfig(method=method, q_root=40, sample_size=400, min_node=16),
+            ).fit_arrays(cols, labels, seed=2)
+            validate_tree(tree)
+
+    def test_deterministic_given_seed(self, schema, quest_small):
+        cols, labels = quest_small
+        cfg = CloudsConfig(q_root=40, sample_size=400)
+        t1 = CloudsBuilder(schema, cfg).fit_arrays(cols, labels, seed=5)
+        t2 = CloudsBuilder(schema, cfg).fit_arrays(cols, labels, seed=5)
+        assert t1.to_dict() == t2.to_dict()
+
+    def test_small_nodes_use_direct_method(self, schema, quest_small):
+        cols, labels = quest_small
+        # q_min above q_root: the whole tree is built with the direct path
+        cfg = CloudsConfig(q_root=8, sample_size=100, q_min=100, min_node=8)
+        tree = CloudsBuilder(schema, cfg).fit_arrays(cols, labels, seed=3)
+        validate_tree(tree)
+        assert accuracy(labels, tree.predict(cols)) > 0.95
+
+    def test_node_ids_unique(self, schema, quest_small):
+        cols, labels = quest_small
+        tree = CloudsBuilder(
+            schema, CloudsConfig(q_root=30, sample_size=300)
+        ).fit_arrays(cols, labels, seed=4)
+        ids = [n.node_id for n in tree.iter_nodes()]
+        assert len(ids) == len(set(ids))
+
+
+class TestOutOfCoreBuilder:
+    def test_fit_columnset_matches_quality(self, schema, quest_small, loaded):
+        cs, cols, labels, disk = loaded
+        cfg = CloudsConfig(method="sse", q_root=60, sample_size=500, min_node=16)
+        tree = CloudsBuilder(schema, cfg).fit_columnset(cs, seed=1)
+        validate_tree(tree)
+        assert accuracy(labels, tree.predict(cols)) > 0.9
+
+    def test_ooc_charges_io(self, schema, loaded):
+        cs, cols, labels, disk = loaded
+        before = disk.stats.bytes_read
+        CloudsBuilder(
+            schema, CloudsConfig(q_root=40, sample_size=300, min_node=32)
+        ).fit_columnset(cs, seed=2)
+        # multiple passes per node: far more bytes read than the set holds
+        assert disk.stats.bytes_read - before > len(labels) * schema.row_nbytes()
+
+    def test_fit_consumes_the_fragment(self, schema, loaded):
+        cs, _, _, _ = loaded
+        CloudsBuilder(
+            schema, CloudsConfig(q_root=40, sample_size=300, min_node=64)
+        ).fit_columnset(cs, seed=0)
+        with pytest.raises(ValueError):
+            cs.read_labels()
+
+    def test_ooc_tree_close_to_in_core_tree(self, schema, quest_small):
+        # identical configs and seeds: the OOC driver must produce a tree
+        # of equivalent predictive quality (sampling differs slightly in
+        # the two paths, so compare quality rather than structure)
+        cols, labels = quest_small
+        cfg = CloudsConfig(method="sse", q_root=50, sample_size=400, min_node=16)
+        t_core = CloudsBuilder(schema, cfg).fit_arrays(cols, labels, seed=9)
+        cs = ColumnSet.from_arrays(make_disk(), schema, cols, labels, batch_rows=512)
+        t_ooc = CloudsBuilder(schema, cfg).fit_columnset(cs, seed=9)
+        acc_core = accuracy(labels, t_core.predict(cols))
+        acc_ooc = accuracy(labels, t_ooc.predict(cols))
+        assert abs(acc_core - acc_ooc) < 0.05
+
+    def test_empty_columnset_single_leaf(self, schema):
+        cs = ColumnSet(make_disk(), schema)
+        tree = CloudsBuilder(schema).fit_columnset(cs, seed=0)
+        assert tree.root.is_leaf and tree.root.n == 0

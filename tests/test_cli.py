@@ -1,0 +1,134 @@
+"""The command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def dataset_path(tmp_path):
+    path = str(tmp_path / "data.npz")
+    assert main([
+        "generate", "--records", "1500", "--function", "2",
+        "--noise", "0.02", "--seed", "3", "--out", path,
+    ]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_loadable_npz(self, dataset_path):
+        with np.load(dataset_path) as archive:
+            assert "labels" in archive.files
+            assert "salary" in archive.files
+            assert len(archive["labels"]) == 1500
+
+    def test_deterministic(self, tmp_path, capsys):
+        a, b = str(tmp_path / "a.npz"), str(tmp_path / "b.npz")
+        for p in (a, b):
+            main(["generate", "--records", "100", "--seed", "7", "--out", p])
+        with np.load(a) as fa, np.load(b) as fb:
+            np.testing.assert_array_equal(fa["salary"], fb["salary"])
+
+
+class TestTrain:
+    @pytest.mark.parametrize("builder", ["clouds-sse", "sprint", "direct"])
+    def test_sequential_builders(self, dataset_path, builder, capsys):
+        assert main([
+            "train", dataset_path, "--builder", builder,
+            "--q-root", "40", "--sample-size", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "train accuracy" in out
+
+    def test_pclouds_with_tree_out(self, dataset_path, tmp_path, capsys):
+        tree_path = str(tmp_path / "tree.json")
+        assert main([
+            "train", dataset_path, "--builder", "pclouds", "--ranks", "3",
+            "--q-root", "40", "--sample-size", "300",
+            "--tree-out", tree_path, "--prune",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pCLOUDS on 3 ranks" in out
+        assert "MDL pruning" in out
+        with open(tree_path) as fh:
+            wire = json.load(fh)
+        assert "root" in wire
+
+    def test_auto_switch_accepted(self, dataset_path, capsys):
+        assert main([
+            "train", dataset_path, "--builder", "pclouds", "--ranks", "2",
+            "--q-root", "40", "--sample-size", "300", "--q-switch", "auto",
+        ]) == 0
+
+
+class TestEvaluate:
+    def test_sequential_and_parallel_agree(self, dataset_path, tmp_path, capsys):
+        tree_path = str(tmp_path / "tree.json")
+        main([
+            "train", dataset_path, "--builder", "direct",
+            "--tree-out", tree_path,
+        ])
+        capsys.readouterr()
+        main(["evaluate", tree_path, dataset_path])
+        seq = capsys.readouterr().out
+        main(["evaluate", tree_path, dataset_path, "--ranks", "3"])
+        par = capsys.readouterr().out
+        acc_seq = seq.split("accuracy ")[1].split(" ")[0]
+        acc_par = par.split("accuracy ")[1].split(" ")[0]
+        assert acc_seq == acc_par
+        assert "confusion matrix" in par
+
+
+class TestSpeedup:
+    def test_prints_table(self, capsys):
+        assert main([
+            "speedup", "--records", "2000", "--ranks", "1", "2",
+            "--scale", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "p=" not in out  # table uses a column, not series labels
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_function_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--records", "10", "--function", "11",
+                 "--out", str(tmp_path / "x.npz")]
+            )
+
+    def test_bad_builder_rejected(self, dataset_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", dataset_path, "--builder", "xgb"])
+
+
+class TestTreeSaveLoad:
+    def test_save_load_roundtrip(self, dataset_path, tmp_path):
+        import numpy as np
+
+        from repro.clouds import DecisionTree, StoppingRule, fit_direct
+        from repro.data import quest_schema
+
+        with np.load(dataset_path) as archive:
+            labels = archive["labels"]
+            cols = {k: archive[k] for k in archive.files if k != "labels"}
+        schema = quest_schema()
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=64))
+        path = str(tmp_path / "t.json")
+        tree.save(path)
+        back = DecisionTree.load(path, schema)
+        np.testing.assert_array_equal(tree.predict(cols), back.predict(cols))
+
+    def test_cli_sliq_builder(self, dataset_path, capsys):
+        from repro.cli import main
+
+        assert main(["train", dataset_path, "--builder", "sliq"]) == 0
+        assert "train accuracy" in capsys.readouterr().out

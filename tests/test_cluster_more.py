@@ -1,0 +1,99 @@
+"""Remaining cluster-layer behaviours: run statistics surfaces, network
+edge parameters, and backend wiring through the machine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, NetworkModel
+from repro.ooc import FileBackend, OocArray
+
+from conftest import make_cluster
+
+
+class TestRunStatsSurface:
+    def test_comm_and_io_times_accumulate_separately(self):
+        c = make_cluster(2)
+
+        def prog(ctx):
+            ctx.comm.allgather(np.zeros(1000))
+            ctx.disk.charge_read(1 << 16)
+            ctx.charge_compute(ops=10_000)
+            s = ctx.stats
+            return s.comm_time > 0, s.io_time > 0, s.compute_time > 0
+
+        assert all(all(r) for r in c.run(prog).results)
+
+    def test_collective_count_matches_calls(self):
+        c = make_cluster(3)
+
+        def prog(ctx):
+            for _ in range(5):
+                ctx.comm.barrier()
+            return ctx.stats.collectives
+
+        assert c.run(prog).results == [5, 5, 5]
+
+    def test_imbalance_reflects_skewed_compute(self):
+        c = make_cluster(4)
+
+        def prog(ctx):
+            ctx.charge_compute(ops=(ctx.rank + 1) * 1_000_000)
+
+        run = c.run(prog)
+        assert run.stats.imbalance("compute_time") == pytest.approx(1.6)
+
+
+class TestNetworkEdges:
+    def test_zero_latency_network(self):
+        c = Cluster(2, network=NetworkModel(alpha=0.0, beta=0.0), seed=0)
+
+        def prog(ctx):
+            ctx.comm.allgather(np.zeros(1 << 16))
+            return ctx.stats.comm_time
+
+        assert c.run(prog).results == [0.0, 0.0]
+
+    def test_high_latency_dominates_elapsed(self):
+        slow = Cluster(4, network=NetworkModel(alpha=1.0, beta=0.0), seed=0)
+
+        def prog(ctx):
+            ctx.comm.barrier()
+            ctx.comm.barrier()
+
+        run = slow.run(prog)
+        # two combines at alpha=1s, log2(4)=2 stages each
+        assert run.elapsed == pytest.approx(4.0)
+
+
+class TestBackendWiring:
+    def test_backend_factory_one_per_rank(self, tmp_path):
+        made = []
+
+        def factory():
+            b = FileBackend(str(tmp_path / f"r{len(made)}"))
+            made.append(b)
+            return b
+
+        c = Cluster(3, backend_factory=factory, seed=0)
+
+        def prog(ctx):
+            f = OocArray(ctx.disk, np.float64)
+            f.append(np.full(4, float(ctx.rank)))
+            return float(f.read_all().sum())
+
+        out = c.run(prog).results
+        assert out == [0.0, 4.0, 8.0]
+        assert len(made) == 3
+        # each rank's chunks went to its own spool
+        assert all(b.chunks_created == 1 for b in made)
+
+    def test_default_backend_isolated_per_rank(self):
+        c = make_cluster(2)
+
+        def prog(ctx):
+            f = OocArray(ctx.disk, np.float64, name="x")
+            f.append(np.array([float(ctx.rank)]))
+            ctx.comm.barrier()
+            return float(f.read_all()[0])
+
+        assert c.run(prog).results == [0.0, 1.0]

@@ -1,0 +1,259 @@
+"""The MPI-like communicator: collectives, point-to-point, clock
+synchronisation, failure semantics, and communicator splitting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    CommMismatchError,
+    DeadlockError,
+    SpmdProgramError,
+    payload_nbytes,
+)
+
+from conftest import make_cluster
+
+
+class TestPayloadNbytes:
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_numpy_uses_nbytes(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_scalars_one_word(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(2.5) == 8
+        assert payload_nbytes(True) == 8
+
+    def test_bytes_and_str(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("hé") == 3  # utf-8 length
+
+    def test_containers_sum_items(self):
+        assert payload_nbytes([1, 2.0]) == 8 + 16
+        assert payload_nbytes({"k": np.zeros(2)}) == 8 + 1 + 16
+
+    def test_opaque_falls_back_to_pickle(self):
+        assert payload_nbytes(frozenset({1, 2, 3})) > 0
+
+
+class TestCollectives:
+    def test_allgather_orders_by_rank(self, cluster4):
+        run = cluster4.run(lambda ctx: ctx.comm.allgather(ctx.rank * 10))
+        assert run.results == [[0, 10, 20, 30]] * 4
+
+    def test_bcast_from_nonzero_root(self, cluster4):
+        def prog(ctx):
+            return ctx.comm.bcast("hello" if ctx.rank == 2 else None, root=2)
+
+        assert cluster4.run(prog).results == ["hello"] * 4
+
+    def test_gather_only_root_receives(self, cluster4):
+        run = cluster4.run(lambda ctx: ctx.comm.gather(ctx.rank, root=1))
+        assert run.results[1] == [0, 1, 2, 3]
+        assert run.results[0] is None and run.results[3] is None
+
+    def test_allreduce_sum_numpy(self, cluster4):
+        def prog(ctx):
+            return ctx.comm.allreduce(np.full(3, ctx.rank, dtype=np.int64))
+
+        out = cluster4.run(prog).results
+        for r in out:
+            np.testing.assert_array_equal(r, np.full(3, 6))
+
+    def test_allreduce_min_max(self, cluster4):
+        run = cluster4.run(lambda ctx: (ctx.comm.allreduce(ctx.rank, "min"),
+                                        ctx.comm.allreduce(ctx.rank, "max")))
+        assert run.results == [(0, 3)] * 4
+
+    def test_allreduce_custom_op(self, cluster4):
+        def prog(ctx):
+            return ctx.comm.allreduce({"v": ctx.rank}, op=lambda a, b: {"v": a["v"] + b["v"]})
+
+        assert cluster4.run(prog).results == [{"v": 6}] * 4
+
+    def test_allreduce_unknown_op_rejected(self, cluster4):
+        with pytest.raises(SpmdProgramError):
+            cluster4.run(lambda ctx: ctx.comm.allreduce(1, op="median"))
+
+    def test_reduce_root_only(self, cluster4):
+        run = cluster4.run(lambda ctx: ctx.comm.reduce(ctx.rank + 1, "sum", root=3))
+        assert run.results == [None, None, None, 10]
+
+    def test_scan_inclusive_prefix(self, cluster4):
+        run = cluster4.run(lambda ctx: ctx.comm.scan(ctx.rank + 1))
+        assert run.results == [1, 3, 6, 10]
+
+    def test_minloc_elects_lowest_value(self, cluster4):
+        def prog(ctx):
+            vals = [5.0, 2.0, 9.0, 2.0]
+            return ctx.comm.allreduce_minloc(vals[ctx.rank], f"payload{ctx.rank}")
+
+        out = cluster4.run(prog).results
+        # tie between ranks 1 and 3 broken toward the lower rank
+        assert out == [(2.0, "payload1", 1)] * 4
+
+    def test_minloc_with_inf_values(self, cluster4):
+        def prog(ctx):
+            v = float("inf") if ctx.rank != 2 else 1.0
+            return ctx.comm.allreduce_minloc(v, ctx.rank)
+
+        assert cluster4.run(prog).results == [(1.0, 2, 2)] * 4
+
+    def test_alltoall_transposes(self, cluster4):
+        def prog(ctx):
+            return ctx.comm.alltoall([f"{ctx.rank}->{d}" for d in range(ctx.size)])
+
+        out = cluster4.run(prog).results
+        assert out[2] == ["0->2", "1->2", "2->2", "3->2"]
+
+    def test_alltoall_wrong_length_rejected(self, cluster4):
+        with pytest.raises(SpmdProgramError):
+            cluster4.run(lambda ctx: ctx.comm.alltoall([0, 1]))
+
+    def test_barrier_synchronises_clocks(self, cluster4):
+        def prog(ctx):
+            ctx.clock.advance(float(ctx.rank))  # ranks arrive at 0..3
+            ctx.comm.barrier()
+            return ctx.clock.now
+
+        out = cluster4.run(prog).results
+        assert len(set(out)) == 1  # everyone leaves at the same instant
+        assert out[0] > 3.0  # after the slowest arrival plus the cost
+
+    def test_collective_charges_comm_time(self, cluster4):
+        run = cluster4.run(lambda ctx: ctx.comm.allgather(np.zeros(1000)))
+        assert all(s.comm_time > 0 for s in run.stats.per_rank)
+        assert all(s.collectives == 1 for s in run.stats.per_rank)
+
+    def test_idle_time_recorded_for_early_arrivals(self, cluster4):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.clock.advance(5.0)
+            ctx.comm.barrier()
+            return ctx.stats.idle_time
+
+        out = cluster4.run(prog).results
+        assert out[0] == pytest.approx(0.0)
+        assert all(v == pytest.approx(5.0) for v in out[1:])
+
+    def test_divergent_collectives_raise_mismatch(self, cluster4):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.comm.allgather(1)
+            else:
+                ctx.comm.barrier()
+
+        with pytest.raises(SpmdProgramError) as e:
+            cluster4.run(prog)
+        assert isinstance(e.value.cause, CommMismatchError)
+
+    def test_single_rank_collectives_trivial(self):
+        c = make_cluster(1)
+
+        def prog(ctx):
+            assert ctx.comm.allgather("x") == ["x"]
+            assert ctx.comm.allreduce(5) == 5
+            assert ctx.comm.scan(3) == 3
+            assert ctx.comm.alltoall(["self"]) == ["self"]
+            assert ctx.comm.allreduce_minloc(1.0, "p") == (1.0, "p", 0)
+            return True
+
+        assert c.run(prog).results == [True]
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self, cluster4):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.comm.send({"data": 42}, dst=3, tag=5)
+                return None
+            if ctx.rank == 3:
+                return ctx.comm.recv(src=0, tag=5)
+
+        assert cluster4.run(prog).results[3] == {"data": 42}
+
+    def test_messages_fifo_per_channel(self, cluster4):
+        def prog(ctx):
+            if ctx.rank == 0:
+                for i in range(5):
+                    ctx.comm.send(i, dst=1)
+            elif ctx.rank == 1:
+                return [ctx.comm.recv(src=0) for _ in range(5)]
+
+        assert cluster4.run(prog).results[1] == [0, 1, 2, 3, 4]
+
+    def test_recv_clock_waits_for_arrival(self, cluster4):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.clock.advance(10.0)
+                ctx.comm.send("late", dst=1)
+            elif ctx.rank == 1:
+                ctx.comm.recv(src=0)
+                return ctx.clock.now
+
+        assert cluster4.run(prog).results[1] > 10.0
+
+    def test_recv_timeout_raises_deadlock(self):
+        c = make_cluster(2, timeout=0.2)
+
+        def prog(ctx):
+            if ctx.rank == 1:
+                ctx.comm.recv(src=0)  # nobody ever sends
+
+        with pytest.raises(SpmdProgramError) as e:
+            c.run(prog)
+        assert isinstance(e.value.cause, DeadlockError)
+
+    def test_bad_destination_rejected(self, cluster4):
+        with pytest.raises(SpmdProgramError):
+            cluster4.run(lambda ctx: ctx.comm.send(1, dst=99))
+
+    def test_send_charges_sender(self, cluster4):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.comm.send(np.zeros(1 << 16), dst=1)
+            elif ctx.rank == 1:
+                ctx.comm.recv(src=0)
+
+        run = cluster4.run(prog)
+        assert run.stats.per_rank[0].messages_sent == 1
+        assert run.stats.per_rank[0].bytes_sent == (1 << 16) * 8
+        assert run.stats.per_rank[1].bytes_received == (1 << 16) * 8
+
+
+class TestSplit:
+    def test_split_groups_and_ranks(self, cluster4):
+        def prog(ctx):
+            sub = ctx.comm.split(ctx.rank % 2)
+            return (sub.size, sub.rank, sub.parent_ranks)
+
+        out = cluster4.run(prog).results
+        assert out[0] == (2, 0, [0, 2])
+        assert out[2] == (2, 1, [0, 2])
+        assert out[1] == (2, 0, [1, 3])
+
+    def test_split_collectives_stay_in_group(self, cluster4):
+        def prog(ctx):
+            sub = ctx.comm.split(0 if ctx.rank < 3 else 1)
+            return sub.allreduce(ctx.rank)
+
+        out = cluster4.run(prog).results
+        assert out == [3, 3, 3, 3][0:3] + [3]  # group {0,1,2} sums to 3; {3} alone
+
+    def test_nested_split(self, cluster4):
+        def prog(ctx):
+            sub = ctx.comm.split(ctx.rank // 2)
+            subsub = sub.split(sub.rank)
+            return (sub.size, subsub.size)
+
+        assert cluster4.run(prog).results == [(2, 1)] * 4
+
+    def test_singleton_groups(self, cluster4):
+        def prog(ctx):
+            sub = ctx.comm.split(ctx.rank)  # everyone alone
+            return sub.allgather(ctx.rank)
+
+        assert cluster4.run(prog).results == [[0], [1], [2], [3]]

@@ -1,0 +1,117 @@
+"""Additional communicator semantics: reduce ops, scatter payload sizes,
+minloc tiebreaks, mixed payload kinds through collectives."""
+
+import numpy as np
+import pytest
+
+from conftest import make_cluster
+
+
+class TestReduceVariants:
+    def test_reduce_min_max_arrays(self):
+        c = make_cluster(3)
+
+        def prog(ctx):
+            arr = np.array([ctx.rank, 10 - ctx.rank], dtype=np.int64)
+            return (
+                ctx.comm.allreduce(arr, "min").tolist(),
+                ctx.comm.allreduce(arr, "max").tolist(),
+            )
+
+        out = c.run(prog).results
+        assert out[0] == ([0, 8], [2, 10])
+        assert all(o == out[0] for o in out)
+
+    def test_reduce_to_nonzero_root_custom_op(self):
+        c = make_cluster(4)
+
+        def prog(ctx):
+            return ctx.comm.reduce(
+                {"s": ctx.rank}, op=lambda a, b: {"s": a["s"] + b["s"]}, root=2
+            )
+
+        out = c.run(prog).results
+        assert out[2] == {"s": 6}
+        assert out[0] is None
+
+
+class TestMinlocTiebreaks:
+    def test_tiebreak_key_beats_rank(self):
+        """With equal values, the caller-supplied key decides — not the
+        rank — so the parallel election matches sequential sweeps."""
+        c = make_cluster(3)
+
+        def prog(ctx):
+            keys = ["zeta", "alpha", "mid"]
+            return ctx.comm.allreduce_minloc(
+                1.0, payload=keys[ctx.rank], tiebreak=keys[ctx.rank]
+            )
+
+        out = c.run(prog).results
+        assert all(o == (1.0, "alpha", 1) for o in out)
+
+    def test_missing_tiebreak_sorts_last(self):
+        c = make_cluster(2)
+
+        def prog(ctx):
+            tb = "aaa" if ctx.rank == 1 else None
+            return ctx.comm.allreduce_minloc(1.0, payload=ctx.rank, tiebreak=tb)
+
+        out = c.run(prog).results
+        # the rank WITH a key wins over the rank without one
+        assert all(o[1] == 1 for o in out)
+
+
+class TestScatterAccounting:
+    def test_scatter_counts_bytes(self):
+        c = make_cluster(2)
+
+        def prog(ctx):
+            parts = (
+                [np.zeros(100), np.zeros(200)] if ctx.rank == 0 else None
+            )
+            mine = ctx.comm.scatter(parts, root=0)
+            return len(mine), ctx.stats.bytes_received
+
+        out = c.run(prog).results
+        assert out[0][0] == 100 and out[1][0] == 200
+        assert out[1][1] == 200 * 8
+
+
+class TestMixedPayloads:
+    def test_allgather_heterogeneous_objects(self):
+        c = make_cluster(3)
+
+        def prog(ctx):
+            payloads = [np.arange(2), {"k": 1}, ("t", 2.0)]
+            return ctx.comm.allgather(payloads[ctx.rank])
+
+        out = c.run(prog).results[0]
+        np.testing.assert_array_equal(out[0], [0, 1])
+        assert out[1] == {"k": 1}
+        assert out[2] == ("t", 2.0)
+
+    def test_alltoall_with_none_slots(self):
+        c = make_cluster(3)
+
+        def prog(ctx):
+            parts = [None] * 3
+            parts[(ctx.rank + 1) % 3] = f"from{ctx.rank}"
+            return ctx.comm.alltoall(parts)
+
+        out = c.run(prog).results
+        assert out[1][0] == "from0"
+        assert out[0][2] == "from2"
+        assert out[0][1] is None
+
+    def test_bcast_large_array_identity(self):
+        c = make_cluster(4)
+        big = np.random.default_rng(0).random(10_000)
+
+        def prog(ctx):
+            got = ctx.comm.bcast(big if ctx.rank == 0 else None, root=0)
+            return float(got.sum())
+
+        out = c.run(prog).results
+        assert len(set(out)) == 1
+        assert out[0] == pytest.approx(float(big.sum()))

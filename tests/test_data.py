@@ -1,0 +1,193 @@
+"""The Quest generator, schemas, and record distribution."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CATEGORICAL,
+    GROUP_A,
+    GROUP_B,
+    N_FUNCTIONS,
+    NUMERIC,
+    Attribute,
+    Schema,
+    generate_quest,
+    make_schema,
+    multinomial_split,
+    quest_schema,
+    shuffle_split,
+)
+from repro.data.generator import _group_a
+
+
+class TestSchema:
+    def test_quest_schema_shape(self, schema):
+        assert len(schema) == 9
+        assert len(schema.numeric) == 6
+        assert len(schema.categorical) == 3
+        assert schema.n_classes == 2
+
+    def test_row_nbytes(self, schema):
+        # 6 numeric f8 + 3 categorical i4 + label i4
+        assert schema.row_nbytes() == 6 * 8 + 3 * 4 + 4
+
+    def test_attribute_lookup(self, schema):
+        assert schema.attribute("elevel").cardinality == 5
+        with pytest.raises(KeyError):
+            schema.attribute("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema((Attribute("x", NUMERIC), Attribute("x", NUMERIC)))
+
+    def test_categorical_needs_cardinality(self):
+        with pytest.raises(ValueError):
+            Attribute("c", CATEGORICAL, cardinality=1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("c", "weird")
+
+    def test_make_schema_helper(self):
+        s = make_schema(["a", "b"], {"c": 3}, n_classes=4)
+        assert s.names == ["a", "b", "c"]
+        assert s.n_classes == 4
+
+    def test_n_classes_minimum(self):
+        with pytest.raises(ValueError):
+            make_schema(["a"], {}, n_classes=1)
+
+    def test_validate_columns_catches_extra(self, schema, quest_small):
+        cols, labels = quest_small
+        bad = dict(cols)
+        bad["extra"] = labels
+        with pytest.raises(ValueError):
+            schema.validate_columns(bad, labels)
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = generate_quest(500, function=3, seed=42)
+        b = generate_quest(500, function=3, seed=42)
+        for k in a[0]:
+            np.testing.assert_array_equal(a[0][k], b[0][k])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a, _ = generate_quest(500, seed=1)
+        b, _ = generate_quest(500, seed=2)
+        assert not np.array_equal(a["salary"], b["salary"])
+
+    def test_value_ranges(self):
+        cols, labels = generate_quest(5000, seed=0)
+        assert cols["salary"].min() >= 20_000 and cols["salary"].max() <= 150_000
+        assert cols["age"].min() >= 20 and cols["age"].max() <= 80
+        assert cols["elevel"].min() >= 0 and cols["elevel"].max() <= 4
+        assert cols["car"].max() <= 19
+        assert cols["zipcode"].max() <= 8
+        assert cols["loan"].max() <= 500_000
+        assert set(np.unique(labels)) <= {GROUP_A, GROUP_B}
+
+    def test_commission_zero_iff_high_salary(self):
+        cols, _ = generate_quest(5000, seed=1)
+        high = cols["salary"] >= 75_000
+        assert (cols["commission"][high] == 0).all()
+        assert (cols["commission"][~high] >= 10_000).all()
+
+    def test_hvalue_depends_on_zipcode(self):
+        cols, _ = generate_quest(20000, seed=2)
+        # lower zipcode codes mean larger k, hence pricier houses
+        lo = cols["hvalue"][cols["zipcode"] == 0]
+        hi = cols["hvalue"][cols["zipcode"] == 8]
+        assert lo.mean() > hi.mean()
+
+    @pytest.mark.parametrize("fn", range(1, N_FUNCTIONS + 1))
+    def test_all_functions_produce_both_classes(self, fn):
+        _, labels = generate_quest(4000, function=fn, seed=5)
+        assert len(np.unique(labels)) == 2
+
+    def test_function2_predicate_matches_labels(self):
+        cols, labels = generate_quest(2000, function=2, seed=3, noise=0.0)
+        a = (
+            ((cols["age"] < 40) & (50_000 <= cols["salary"]) & (cols["salary"] <= 100_000))
+            | ((cols["age"] >= 40) & (cols["age"] < 60)
+               & (75_000 <= cols["salary"]) & (cols["salary"] <= 125_000))
+            | ((cols["age"] >= 60) & (25_000 <= cols["salary"]) & (cols["salary"] <= 75_000))
+        )
+        np.testing.assert_array_equal(labels == GROUP_A, a)
+
+    def test_function1_depends_only_on_age(self):
+        cols, labels = generate_quest(2000, function=1, seed=3)
+        np.testing.assert_array_equal(
+            labels == GROUP_A, (cols["age"] < 40) | (cols["age"] >= 60)
+        )
+
+    def test_noise_flips_expected_fraction(self):
+        cols, clean = generate_quest(20000, function=2, seed=9, noise=0.0)
+        _, noisy = generate_quest(20000, function=2, seed=9, noise=0.2)
+        flipped = np.mean(clean != noisy)
+        assert 0.17 < flipped < 0.23
+
+    def test_bad_function_rejected(self):
+        with pytest.raises(ValueError):
+            generate_quest(10, function=11)
+        cols, _ = generate_quest(10, function=1)
+        with pytest.raises(ValueError):
+            _group_a(cols, 0)
+
+    def test_bad_noise_rejected(self):
+        with pytest.raises(ValueError):
+            generate_quest(10, noise=1.5)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            generate_quest(-1)
+
+    def test_empty_generation(self):
+        cols, labels = generate_quest(0)
+        assert len(labels) == 0
+        assert all(len(v) == 0 for v in cols.values())
+
+
+class TestDistribute:
+    def test_shuffle_split_partitions_exactly(self, quest_small):
+        cols, labels = quest_small
+        frags = shuffle_split(cols, labels, 3, seed=1)
+        assert sum(len(f[1]) for f in frags) == len(labels)
+        sizes = [len(f[1]) for f in frags]
+        assert max(sizes) - min(sizes) <= 1
+        all_sal = np.sort(np.concatenate([f[0]["salary"] for f in frags]))
+        np.testing.assert_array_equal(all_sal, np.sort(cols["salary"]))
+
+    def test_shuffle_split_rows_stay_aligned(self, quest_small):
+        cols, labels = quest_small
+        frags = shuffle_split(cols, labels, 4, seed=2)
+        # a record's (salary, label) pair must survive redistribution
+        pairs = set(zip(cols["salary"].tolist(), labels.tolist()))
+        for fcols, flabels in frags:
+            for s, l in zip(fcols["salary"], flabels):
+                assert (s, l) in pairs
+
+    def test_multinomial_split_partitions_exactly(self, quest_small):
+        cols, labels = quest_small
+        frags = multinomial_split(cols, labels, 5, seed=3)
+        assert sum(len(f[1]) for f in frags) == len(labels)
+
+    def test_multinomial_sizes_near_uniform(self):
+        cols, labels = generate_quest(20000, seed=4)
+        frags = multinomial_split(cols, labels, 4, seed=5)
+        sizes = np.array([len(f[1]) for f in frags])
+        # Angluin–Valiant: deviations are O(sqrt(n/p log n)) ~ a few hundred
+        assert np.all(np.abs(sizes - 5000) < 500)
+
+    def test_single_rank_gets_everything(self, quest_small):
+        cols, labels = quest_small
+        (fc, fl), = shuffle_split(cols, labels, 1, seed=0)
+        assert len(fl) == len(labels)
+
+    def test_zero_ranks_rejected(self, quest_small):
+        cols, labels = quest_small
+        with pytest.raises(ValueError):
+            shuffle_split(cols, labels, 0)
+        with pytest.raises(ValueError):
+            multinomial_split(cols, labels, 0)

@@ -1,0 +1,119 @@
+"""Disk model, compute model, simulated clocks and phase timers."""
+
+import pytest
+
+from repro.cluster.clock import PhaseTimer, SimClock
+from repro.cluster.compute import ComputeModel
+from repro.cluster.diskmodel import DiskModel
+
+
+class TestDiskModel:
+    def test_zero_bytes_is_free(self):
+        assert DiskModel().access(0) == 0.0
+
+    def test_sequential_access_pays_one_seek(self):
+        d = DiskModel(seek=0.01, bandwidth=1e6, block=1024)
+        assert d.access(4096) == pytest.approx(0.01 + 4096 / 1e6)
+
+    def test_scattered_access_pays_seek_per_block(self):
+        d = DiskModel(seek=0.01, bandwidth=1e6, block=1024)
+        assert d.access(4096, sequential=False) == pytest.approx(
+            4 * 0.01 + 4096 / 1e6
+        )
+
+    def test_partial_block_rounds_up_seeks(self):
+        d = DiskModel(seek=0.01, bandwidth=1e6, block=1024)
+        assert d.access(1, sequential=False) == pytest.approx(0.01 + 1e-6)
+        assert d.access(1025, sequential=False) == pytest.approx(0.02 + 1025 / 1e6)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DiskModel().access(-1)
+
+    def test_scan_rate_is_bandwidth(self):
+        assert DiskModel(bandwidth=5e6).scan_rate() == 5e6
+
+    def test_large_transfer_dominated_by_bandwidth(self):
+        d = DiskModel(seek=0.01, bandwidth=8e6)
+        t = d.access(80_000_000)
+        assert t == pytest.approx(10.0, rel=0.01)
+
+
+class TestComputeModel:
+    def test_linear_cost(self):
+        c = ComputeModel(seconds_per_op=2e-9)
+        assert c.cost(1e6) == pytest.approx(2e-3)
+
+    def test_zero_ops_free(self):
+        assert ComputeModel().cost(0) == 0.0
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeModel().cost(-5)
+
+    def test_scan_counts_width(self):
+        c = ComputeModel(seconds_per_op=1.0)
+        assert c.scan(10, width=3) == pytest.approx(30.0)
+
+    def test_sort_is_nlogn(self):
+        c = ComputeModel(seconds_per_op=1.0)
+        assert c.sort(8) == pytest.approx(8 * 3)
+        assert c.sort(1) == pytest.approx(1)
+        assert c.sort(0) == pytest.approx(0)
+
+
+class TestSimClock:
+    def test_advance_accumulates(self):
+        clk = SimClock()
+        clk.advance(1.5)
+        clk.advance(0.5)
+        assert clk.now == pytest.approx(2.0)
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_never_goes_backwards(self):
+        clk = SimClock(now=5.0)
+        clk.advance_to(3.0)
+        assert clk.now == 5.0
+        clk.advance_to(7.0)
+        assert clk.now == 7.0
+
+
+class TestPhaseTimer:
+    def test_attributes_time_to_phases(self):
+        clk = SimClock()
+        t = PhaseTimer(clk)
+        t.start("a")
+        clk.advance(2.0)
+        t.start("b")  # implicitly closes "a"
+        clk.advance(3.0)
+        t.stop()
+        assert t.totals == pytest.approx({"a": 2.0, "b": 3.0})
+
+    def test_reentering_phase_accumulates(self):
+        clk = SimClock()
+        t = PhaseTimer(clk)
+        for _ in range(2):
+            t.start("x")
+            clk.advance(1.0)
+            t.stop()
+        assert t.totals["x"] == pytest.approx(2.0)
+
+    def test_snapshot_includes_open_phase_without_closing(self):
+        clk = SimClock()
+        t = PhaseTimer(clk)
+        t.start("open")
+        clk.advance(4.0)
+        snap = t.snapshot()
+        assert snap["open"] == pytest.approx(4.0)
+        assert "open" not in t.totals  # still open
+        clk.advance(1.0)
+        t.stop()
+        assert t.totals["open"] == pytest.approx(5.0)
+
+    def test_stop_without_start_is_noop(self):
+        t = PhaseTimer(SimClock())
+        t.stop()
+        assert t.totals == {}

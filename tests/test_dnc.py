@@ -1,0 +1,168 @@
+"""The generic divide-and-conquer strategies of Section 3."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import scaled_models
+from repro.cluster import Cluster
+from repro.dnc import (
+    STRATEGIES,
+    SyntheticDnc,
+    make_executor,
+    run_strategy,
+    synthetic_payload,
+)
+
+from conftest import make_cluster
+
+
+def ooc_cluster(p, memory_kib=32, seed=0):
+    net, disk, compute = scaled_models(100.0)
+    return Cluster(
+        p, network=net, disk=disk, compute=compute,
+        memory_limit=memory_kib * 1024, seed=seed, timeout=60.0,
+    )
+
+
+class TestProblem:
+    def test_summary_combine_associative(self):
+        prob = SyntheticDnc()
+        rng = np.random.default_rng(0)
+        a, b, c = (prob.summarize(rng.random(50)) for _ in range(3))
+        left = prob.combine(prob.combine(a, b), c)
+        right = prob.combine(a, prob.combine(b, c))
+        assert left == right
+
+    def test_combined_summary_equals_whole(self):
+        prob = SyntheticDnc()
+        data = synthetic_payload(1000, seed=1)
+        whole = prob.summarize(data)
+        parts = prob.combine(prob.summarize(data[:400]), prob.summarize(data[400:]))
+        assert whole == parts
+
+    def test_splitter_respects_ratio(self):
+        prob = SyntheticDnc(split_ratio=0.25)
+        data = synthetic_payload(100_000, seed=2)
+        s = prob.splitter_from_summary(prob.summarize(data), 0)
+        frac = float((data <= s).mean())
+        assert abs(frac - 0.25) < 0.02
+
+    def test_empty_summary(self):
+        prob = SyntheticDnc()
+        assert prob.summarize(np.empty(0))[0] == 0
+        assert prob.splitter_from_summary((0, np.inf, -np.inf), 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticDnc(split_ratio=0.0)
+        with pytest.raises(ValueError):
+            SyntheticDnc(leaf_records=0)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            make_executor("quantum")
+
+
+class TestStrategyEquivalence:
+    """Every technique must build the same divide-and-conquer tree."""
+
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        prob = SyntheticDnc(leaf_records=128, split_ratio=0.5)
+        out = {}
+        for strat in STRATEGIES:
+            res = run_strategy(ooc_cluster(4), prob, 8000, strat, seed=7)
+            out[strat] = res
+        return out
+
+    def test_identical_tree_statistics(self, outcomes):
+        shapes = {
+            s: (r.outcome.n_tasks, r.outcome.n_leaves, r.outcome.max_depth)
+            for s, r in outcomes.items()
+        }
+        assert len(set(shapes.values())) == 1, shapes
+
+    def test_binary_tree_identity(self, outcomes):
+        o = outcomes["data"].outcome
+        assert o.n_tasks - o.n_leaves + 1 == o.n_leaves
+
+    def test_balanced_depth(self, outcomes):
+        o = outcomes["data"].outcome
+        # 8000 records, leaves at 128, even splits: depth ~ log2(8000/128)=6
+        assert 5 <= o.max_depth <= 8
+
+    def test_all_elapsed_positive(self, outcomes):
+        assert all(r.elapsed > 0 for r in outcomes.values())
+
+
+class TestSectionThreeClaims:
+    def test_data_beats_concatenated_out_of_core(self):
+        """Section 3.3: concatenated parallelism shares memory across the
+        level's tasks, forcing out-of-core passes that data parallelism
+        avoids once individual tasks fit; its I/O and time are larger."""
+        prob = SyntheticDnc(leaf_records=128)
+        # memory below the root fragment (24 KB/rank) but above deep-task
+        # sizes: data parallelism goes in-core as tasks shrink, while the
+        # concatenated level always aggregates to the root size
+        data = run_strategy(ooc_cluster(4, memory_kib=8), prob, 12000, "data", seed=1)
+        conc = run_strategy(
+            ooc_cluster(4, memory_kib=8), prob, 12000, "concatenated", seed=1
+        )
+        assert data.bytes_read < conc.bytes_read
+        assert data.elapsed < conc.elapsed
+
+    def test_concatenated_saves_message_startups(self):
+        prob = SyntheticDnc(leaf_records=128)
+        data = run_strategy(ooc_cluster(4), prob, 12000, "data", seed=1)
+        conc = run_strategy(ooc_cluster(4), prob, 12000, "concatenated", seed=1)
+        assert conc.collectives < data.collectives
+
+    def test_task_parallelism_moves_data(self):
+        prob = SyntheticDnc(leaf_records=256)
+        data = run_strategy(ooc_cluster(4), prob, 8000, "data", seed=2)
+        task = run_strategy(ooc_cluster(4), prob, 8000, "task", seed=2)
+        # compute-dependent parallel I/O: redistribution traffic
+        assert task.bytes_sent > data.bytes_sent
+
+    def test_strategies_speed_up_with_processors(self):
+        prob = SyntheticDnc(leaf_records=256, work_per_record=4.0)
+        for strat in ("data", "mixed"):
+            t1 = run_strategy(ooc_cluster(1), prob, 8000, strat, seed=3).elapsed
+            t4 = run_strategy(ooc_cluster(4), prob, 8000, strat, seed=3).elapsed
+            assert t4 < t1, strat
+
+    def test_mixed_beats_pure_data_at_fine_grain(self):
+        """Section 3.5: once tasks are small, per-task collectives dominate
+        pure data parallelism; deferring small tasks wins."""
+        prob = SyntheticDnc(leaf_records=32)
+        data = run_strategy(ooc_cluster(8), prob, 8000, "data", seed=4)
+        mixed = run_strategy(ooc_cluster(8), prob, 8000, "mixed", seed=4)
+        assert mixed.elapsed < data.elapsed
+
+    def test_result_row_shape(self):
+        prob = SyntheticDnc(leaf_records=512)
+        res = run_strategy(ooc_cluster(2), prob, 2000, "data", seed=5)
+        row = res.row()
+        assert row[0] == "data" and len(row) == 7
+
+
+class TestSkewedTrees:
+    @pytest.mark.parametrize("ratio", [0.3, 0.7])
+    def test_skew_preserved_across_strategies(self, ratio):
+        prob = SyntheticDnc(leaf_records=256, split_ratio=ratio)
+        depths = set()
+        for strat in ("data", "task"):
+            res = run_strategy(ooc_cluster(4), prob, 6000, strat, seed=6)
+            depths.add(res.outcome.max_depth)
+        assert len(depths) == 1
+
+    def test_skewed_deeper_than_balanced(self):
+        balanced = run_strategy(
+            ooc_cluster(2), SyntheticDnc(leaf_records=128, split_ratio=0.5),
+            8000, "data", seed=8,
+        )
+        skewed = run_strategy(
+            ooc_cluster(2), SyntheticDnc(leaf_records=128, split_ratio=0.85),
+            8000, "data", seed=8,
+        )
+        assert skewed.outcome.max_depth > balanced.outcome.max_depth

@@ -1,0 +1,167 @@
+"""Distributed evaluation and the analytic D&C cost model."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import scaled_models
+from repro.clouds import StoppingRule, accuracy, fit_direct
+from repro.core import DistributedDataset, parallel_evaluate
+from repro.data import generate_quest, quest_schema
+from repro.dnc import DncCostModel, TreeShape
+
+from conftest import make_cluster
+
+
+class TestParallelEvaluate:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        schema = quest_schema()
+        cols, labels = generate_quest(3000, function=2, seed=41, noise=0.05)
+        tree = fit_direct(
+            schema,
+            {k: v[:2000] for k, v in cols.items()},
+            labels[:2000],
+            StoppingRule(min_node=16),
+        )
+        test_c = {k: v[2000:] for k, v in cols.items()}
+        test_y = labels[2000:]
+        return schema, tree, test_c, test_y
+
+    def test_matches_sequential_accuracy_exactly(self, setup):
+        schema, tree, test_c, test_y = setup
+        cluster = make_cluster(4)
+        ds = DistributedDataset.create(cluster, schema, test_c, test_y, seed=1)
+        ev = parallel_evaluate(ds, tree)
+        assert ev.accuracy == pytest.approx(accuracy(test_y, tree.predict(test_c)))
+        assert ev.n_records == len(test_y)
+
+    def test_confusion_matrix_matches(self, setup):
+        schema, tree, test_c, test_y = setup
+        from repro.clouds import confusion_matrix
+
+        cluster = make_cluster(3)
+        ds = DistributedDataset.create(cluster, schema, test_c, test_y, seed=2)
+        ev = parallel_evaluate(ds, tree)
+        np.testing.assert_array_equal(
+            ev.confusion, confusion_matrix(test_y, tree.predict(test_c), 2)
+        )
+
+    def test_same_result_any_machine_size(self, setup):
+        schema, tree, test_c, test_y = setup
+        matrices = []
+        for p in (1, 2, 5):
+            cluster = make_cluster(p)
+            ds = DistributedDataset.create(cluster, schema, test_c, test_y, seed=3)
+            matrices.append(parallel_evaluate(ds, tree).confusion)
+        for m in matrices[1:]:
+            np.testing.assert_array_equal(m, matrices[0])
+
+    def test_evaluation_does_not_consume_dataset(self, setup):
+        schema, tree, test_c, test_y = setup
+        cluster = make_cluster(2)
+        ds = DistributedDataset.create(cluster, schema, test_c, test_y, seed=4)
+        parallel_evaluate(ds, tree)
+        ev2 = parallel_evaluate(ds, tree)  # second pass still works
+        assert ev2.n_records == len(test_y)
+
+    def test_recall_and_error_rate(self, setup):
+        schema, tree, test_c, test_y = setup
+        cluster = make_cluster(2)
+        ds = DistributedDataset.create(cluster, schema, test_c, test_y, seed=5)
+        ev = parallel_evaluate(ds, tree)
+        assert ev.error_rate == pytest.approx(1.0 - ev.accuracy)
+        recall = ev.per_class_recall()
+        assert recall.shape == (2,)
+        assert np.all((0.0 <= recall) & (recall <= 1.0))
+
+    def test_more_ranks_evaluate_faster(self, setup):
+        schema, tree, test_c, test_y = setup
+        net, disk, compute = scaled_models(100.0)
+        times = []
+        for p in (1, 4):
+            cluster = make_cluster(p, network=net, disk=disk, compute=compute)
+            ds = DistributedDataset.create(cluster, schema, test_c, test_y, seed=6)
+            times.append(parallel_evaluate(ds, tree).elapsed)
+        assert times[1] < times[0]
+
+
+class TestTreeShape:
+    def test_levels_balanced(self):
+        shape = TreeShape(n_records=8192, leaf_records=64)
+        assert shape.levels == 7
+
+    def test_levels_skewed_deeper(self):
+        bal = TreeShape(n_records=8192, leaf_records=64, split_ratio=0.5)
+        skew = TreeShape(n_records=8192, leaf_records=64, split_ratio=0.9)
+        assert skew.levels > bal.levels
+
+    def test_degenerate_single_leaf(self):
+        assert TreeShape(n_records=10, leaf_records=64).levels == 0
+
+    def test_tasks_at_level_capped(self):
+        shape = TreeShape(n_records=1024, leaf_records=256)
+        assert shape.tasks_at(0) == 1
+        assert shape.tasks_at(10) <= 4
+
+
+class TestDncCostModel:
+    @pytest.fixture
+    def model(self):
+        net, disk, compute = scaled_models(100.0)
+        return DncCostModel(network=net, disk=disk, compute=compute, n_ranks=8)
+
+    @pytest.fixture
+    def shape(self):
+        return TreeShape(n_records=40_000, leaf_records=128)
+
+    def test_data_beats_concatenated_when_memory_binds(self, model, shape):
+        mem = 16 * 1024
+        assert model.data_parallel(shape, mem) < model.concatenated(shape, mem)
+
+    def test_without_memory_they_match_closely(self, model, shape):
+        # no in-core crossover: both stream everything; concatenated is
+        # cheaper only in startups
+        dp = model.data_parallel(shape, None)
+        cc = model.concatenated(shape, None)
+        assert cc <= dp
+
+    def test_compute_independent_pays_network_for_remote_data(self, model, shape):
+        dep = model.task_parallel_compute_dependent(shape)
+        indep = model.task_parallel_compute_independent(shape)
+        assert dep > 0 and indep > 0
+
+    def test_mixed_with_good_switch_beats_pure_data(self, model, shape):
+        mem = 16 * 1024
+        mixed = model.mixed(shape, switch_records=2500, memory_limit=mem)
+        dp = model.data_parallel(shape, mem)
+        assert mixed < dp
+
+    def test_predictions_track_simulation_ordering(self, shape):
+        """The analytic model must reproduce the simulator's ranking of
+        data vs concatenated in the memory-bound regime."""
+        from repro.cluster import Cluster
+        from repro.dnc import SyntheticDnc, run_strategy
+
+        net, disk, compute = scaled_models(100.0)
+        model = DncCostModel(network=net, disk=disk, compute=compute, n_ranks=4)
+        small_shape = TreeShape(n_records=12_000, leaf_records=128)
+        mem = 8 * 1024
+        predicted = {
+            "data": model.data_parallel(small_shape, mem),
+            "concatenated": model.concatenated(small_shape, mem),
+        }
+        measured = {}
+        for strat in ("data", "concatenated"):
+            cluster = Cluster(
+                4, network=net, disk=disk, compute=compute,
+                memory_limit=mem, seed=0, timeout=60.0,
+            )
+            measured[strat] = run_strategy(
+                cluster, SyntheticDnc(leaf_records=128), 12_000, strat, seed=1
+            ).elapsed
+        assert (predicted["data"] < predicted["concatenated"]) == (
+            measured["data"] < measured["concatenated"]
+        )
+        # magnitudes in the same decade
+        for s in predicted:
+            assert 0.1 < predicted[s] / measured[s] < 10.0

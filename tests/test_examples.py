@@ -1,0 +1,59 @@
+"""Smoke tests: the shipped examples must run and print what their
+docstrings promise. Only the fast ones run here (the figure-scale ones
+are exercised by the benchmark suite)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 120.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "CLOUDS/SSE" in out
+    assert "SPRINT baseline" in out
+    assert "test  accuracy" in out
+    assert "after MDL pruning" in out
+
+
+def test_strategy_comparison():
+    out = run_example("strategy_comparison.py")
+    for strategy in ("data", "concatenated", "task", "mixed"):
+        assert strategy in out
+    assert "skewed trees" in out
+
+
+def test_out_of_core():
+    out = run_example("out_of_core.py")
+    assert "unlimited" in out
+    assert "FileBackend" in out
+    assert "same tree" in out
+
+
+@pytest.mark.slow
+def test_parallel_sorting():
+    out = run_example("parallel_sorting.py", timeout=300.0)
+    assert "speedup" in out
+    assert "bucket imbalance" in out
+
+
+def test_all_examples_have_main_and_docstring():
+    for path in sorted(EXAMPLES.glob("*.py")):
+        text = path.read_text()
+        assert text.startswith('"""'), f"{path.name}: missing module docstring"
+        assert 'if __name__ == "__main__":' in text, f"{path.name}: not runnable"
+        assert "Run:" in text, f"{path.name}: docstring lacks a Run: line"

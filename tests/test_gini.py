@@ -1,0 +1,248 @@
+"""Gini machinery: impurity, sweeps, categorical subsets, the SSE bound."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.clouds.gini import (
+    best_categorical_split,
+    best_numeric_split_exact,
+    boundary_sweep,
+    gini_from_counts,
+    gini_lower_bound,
+    weighted_gini,
+)
+
+
+def brute_force_numeric(values, labels, n_classes):
+    """Reference: evaluate every distinct threshold directly."""
+    best = None
+    for thr in np.unique(values):
+        mask = values <= thr
+        if mask.all():
+            continue
+        g = weighted_gini(
+            np.bincount(labels[mask], minlength=n_classes),
+            np.bincount(labels[~mask], minlength=n_classes),
+        )
+        if best is None or g < best[0] - 1e-12:
+            best = (float(g), float(thr))
+    return best
+
+
+class TestGiniFromCounts:
+    def test_pure_node_is_zero(self):
+        assert gini_from_counts([10, 0]) == pytest.approx(0.0)
+
+    def test_balanced_two_class_is_half(self):
+        assert gini_from_counts([5, 5]) == pytest.approx(0.5)
+
+    def test_uniform_k_classes(self):
+        for k in (2, 3, 4, 10):
+            assert gini_from_counts([7] * k) == pytest.approx(1 - 1 / k)
+
+    def test_empty_counts_zero(self):
+        assert gini_from_counts([0, 0]) == 0.0
+
+    def test_batched_rows(self):
+        g = gini_from_counts(np.array([[1, 1], [2, 0], [0, 0]]))
+        np.testing.assert_allclose(g, [0.5, 0.0, 0.0])
+
+
+class TestWeightedGini:
+    def test_weights_by_partition_size(self):
+        g = weighted_gini([2, 2], [4, 0])
+        assert g == pytest.approx((4 * 0.5 + 4 * 0.0) / 8)
+
+    def test_empty_side_contributes_nothing(self):
+        assert weighted_gini([3, 3], [0, 0]) == pytest.approx(0.5)
+
+    def test_batched(self):
+        left = np.array([[2, 2], [4, 0]])
+        right = np.array([[4, 0], [2, 2]])
+        np.testing.assert_allclose(weighted_gini(left, right), [0.25, 0.25])
+
+
+class TestBoundarySweep:
+    def test_matches_pointwise_weighted_gini(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, 50)
+        onehot = np.eye(3, dtype=np.int64)[labels]
+        cum = np.cumsum(onehot, axis=0)
+        total = cum[-1]
+        sweep = boundary_sweep(cum[:-1], total)
+        for i in range(49):
+            expect = weighted_gini(cum[i], total - cum[i])
+            assert sweep[i] == pytest.approx(expect)
+
+
+class TestBestNumericSplit:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.choice(20, 200).astype(float)
+        labels = (values + rng.normal(0, 5, 200) > 10).astype(np.int64)
+        got = best_numeric_split_exact(values, labels, 2)
+        ref = brute_force_numeric(values, labels, 2)
+        assert got[0] == pytest.approx(ref[0])
+
+    def test_separable_data_reaches_zero(self):
+        values = np.array([1.0, 2.0, 3.0, 10.0, 11.0])
+        labels = np.array([0, 0, 0, 1, 1])
+        g, thr = best_numeric_split_exact(values, labels, 2)
+        assert g == pytest.approx(0.0)
+        assert thr == pytest.approx(3.0)
+
+    def test_constant_values_no_split(self):
+        assert best_numeric_split_exact(np.ones(5), np.array([0, 1, 0, 1, 0]), 2) is None
+
+    def test_empty_input(self):
+        assert best_numeric_split_exact(np.empty(0), np.empty(0, dtype=int), 2) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            best_numeric_split_exact(np.ones(3), np.zeros(2, dtype=int), 2)
+
+    def test_base_left_shifts_to_node_scope(self):
+        # interval members [5,6] inside a node where 4 class-0 sit left
+        # and 4 class-1 sit right of the interval
+        values = np.array([5.0, 6.0])
+        labels = np.array([0, 1])
+        base_left = np.array([4.0, 0.0])
+        node_counts = np.array([5.0, 5.0])
+        g, thr = best_numeric_split_exact(
+            values, labels, 2, base_left=base_left, node_counts=node_counts
+        )
+        # split at 5: left = [5,0] pure, right = [0,5] pure
+        assert thr == pytest.approx(5.0)
+        assert g == pytest.approx(0.0)
+
+    def test_interval_max_is_legal_with_node_scope(self):
+        # node has records right of the interval, so splitting at the
+        # interval's largest value is allowed
+        values = np.array([1.0, 2.0])
+        labels = np.array([0, 0])
+        res = best_numeric_split_exact(
+            values, labels, 2,
+            base_left=np.zeros(2), node_counts=np.array([2.0, 3.0]),
+        )
+        assert res is not None
+        g, thr = res
+        assert thr == pytest.approx(2.0)
+        assert g == pytest.approx(0.0)
+
+
+class TestCategoricalSplit:
+    def brute_force(self, counts):
+        v = counts.shape[0]
+        total = counts.sum(axis=0)
+        best = None
+        for r in range(1, v):
+            for combo in itertools.combinations(range(v), r):
+                left = counts[list(combo)].sum(axis=0)
+                if left.sum() == 0 or left.sum() == counts.sum():
+                    continue
+                g = float(weighted_gini(left, total - left))
+                if best is None or g < best - 1e-12:
+                    best = g
+        return best
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_class_prefix_theorem_is_optimal(self, seed):
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(0, 20, (6, 2))
+        res = best_categorical_split(counts)
+        assert res[0] == pytest.approx(self.brute_force(counts))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_enumeration_is_optimal_three_classes(self, seed):
+        rng = np.random.default_rng(seed + 10)
+        counts = rng.integers(0, 10, (5, 3))
+        res = best_categorical_split(counts, enumerate_limit=8)
+        assert res[0] == pytest.approx(self.brute_force(counts))
+
+    def test_greedy_not_worse_than_one_vs_rest(self):
+        rng = np.random.default_rng(3)
+        counts = rng.integers(0, 10, (15, 3))
+        g_greedy, _ = best_categorical_split(counts, enumerate_limit=4)
+        total = counts.sum(axis=0)
+        one_vs_rest = min(
+            float(weighted_gini(counts[v], total - counts[v]))
+            for v in range(15)
+            if 0 < counts[v].sum() < counts.sum()
+        )
+        assert g_greedy <= one_vs_rest + 1e-9
+
+    def test_single_present_value_no_split(self):
+        counts = np.zeros((4, 2), dtype=int)
+        counts[2] = [5, 3]
+        assert best_categorical_split(counts) is None
+
+    def test_separable_reaches_zero(self):
+        counts = np.array([[5, 0], [0, 7], [3, 0]])
+        g, left = best_categorical_split(counts)
+        assert g == pytest.approx(0.0)
+        assert left in ({0, 2}, {1})
+
+
+class TestGiniLowerBound:
+    def _discrete_min(self, left, inside_labels, total):
+        """Min gini over all realisable prefixes of a specific ordering —
+        any valid lower bound must be <= this for every ordering."""
+        c = len(left)
+        best = np.inf
+        for perm_seed in range(10):
+            order = np.random.default_rng(perm_seed).permutation(len(inside_labels))
+            cum = np.array(left, dtype=float)
+            for idx in order:
+                cum = cum + np.eye(c)[inside_labels[idx]]
+                g = float(weighted_gini(cum, np.asarray(total) - cum))
+                best = min(best, g)
+        return best
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bounds_every_realisable_split(self, seed):
+        rng = np.random.default_rng(seed)
+        c = 2
+        left = rng.integers(0, 10, c).astype(float)
+        inside_labels = rng.integers(0, c, 12)
+        inside = np.bincount(inside_labels, minlength=c).astype(float)
+        right = rng.integers(0, 10, c).astype(float)
+        total = left + inside + right
+        bound = gini_lower_bound(left, inside, total)
+        assert bound <= self._discrete_min(left, inside_labels, total) + 1e-9
+
+    def test_three_classes(self):
+        rng = np.random.default_rng(42)
+        c = 3
+        left = rng.integers(0, 5, c).astype(float)
+        inside_labels = rng.integers(0, c, 10)
+        inside = np.bincount(inside_labels, minlength=c).astype(float)
+        total = left + inside + rng.integers(0, 5, c)
+        bound = gini_lower_bound(left, inside, total)
+        assert bound <= self._discrete_min(left, inside_labels, total) + 1e-9
+
+    def test_empty_interval_equals_boundary_gini(self):
+        left = np.array([3.0, 1.0])
+        total = np.array([5.0, 5.0])
+        bound = gini_lower_bound(left, np.zeros(2), total)
+        assert bound == pytest.approx(float(weighted_gini(left, total - left)))
+
+    def test_bound_never_negative(self):
+        bound = gini_lower_bound(
+            np.array([1.0, 1.0]), np.array([3.0, 3.0]), np.array([10.0, 10.0])
+        )
+        assert bound >= 0.0
+
+    def test_vertex_search_fallback_many_classes(self):
+        c = 20  # above the corner_limit: falls back to local search
+        left = np.ones(c)
+        inside = np.full(c, 2.0)
+        total = left + inside + np.ones(c)
+        bound = gini_lower_bound(left, inside, total, corner_limit=16)
+        assert 0.0 <= bound <= 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            gini_lower_bound(np.zeros(2), np.zeros(3), np.zeros(2))

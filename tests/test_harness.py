@@ -1,0 +1,111 @@
+"""The benchmark harness: scaled cost models, experiment configs,
+reporting tables."""
+
+import pytest
+
+from repro.bench.harness import (
+    PAPER_MEMORY_RATIO,
+    ExperimentConfig,
+    build_cluster,
+    run_pclouds,
+    scaled_models,
+    speedup_series,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.clouds import validate_tree
+
+
+class TestScaledModels:
+    def test_volume_terms_scale_latency_terms_do_not(self):
+        net1, disk1, cpu1 = scaled_models(1.0)
+        net100, disk100, cpu100 = scaled_models(100.0)
+        assert net100.alpha == net1.alpha
+        assert net100.beta == pytest.approx(net1.beta * 100)
+        assert disk100.seek == disk1.seek
+        assert disk100.bandwidth == pytest.approx(disk1.bandwidth / 100)
+        assert cpu100.seconds_per_op == pytest.approx(cpu1.seconds_per_op * 100)
+
+    def test_scaled_record_costs_match_paper_records(self):
+        # one scaled record must cost what `scale` paper records cost
+        net1, disk1, _ = scaled_models(1.0)
+        net100, disk100, _ = scaled_models(100.0)
+        assert net100.beta * 64 == pytest.approx(net1.beta * 64 * 100)
+        assert 64 / disk100.bandwidth == pytest.approx(100 * 64 / disk1.bandwidth)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_models(0)
+
+
+class TestExperimentConfig:
+    def test_q_root_tracks_records(self):
+        a = ExperimentConfig(n_records=36_000, n_ranks=4)
+        b = ExperimentConfig(n_records=72_000, n_ranks=4)
+        assert b.resolved_q_root() == 2 * a.resolved_q_root()
+
+    def test_explicit_q_root_wins(self):
+        cfg = ExperimentConfig(n_records=36_000, n_ranks=4, q_root=77)
+        assert cfg.resolved_q_root() == 77
+
+    def test_sample_follows_q(self):
+        cfg = ExperimentConfig(n_records=36_000, n_ranks=4)
+        assert cfg.resolved_sample() == 4 * cfg.resolved_q_root()
+
+    def test_memory_limit_scales_with_data_not_ranks(self):
+        row = 64
+        small = ExperimentConfig(n_records=36_000, n_ranks=4)
+        big = ExperimentConfig(n_records=72_000, n_ranks=16)
+        assert big.memory_limit_bytes(row) == 2 * small.memory_limit_bytes(row)
+
+    def test_paper_memory_ratio_value(self):
+        # 1 MB per 6M 64-byte records
+        assert PAPER_MEMORY_RATIO == pytest.approx(2**20 / (6e6 * 64))
+
+    def test_build_cluster_wires_models(self):
+        cfg = ExperimentConfig(n_records=10_000, n_ranks=2, scale=50.0)
+        cluster = build_cluster(cfg, 64)
+        assert cluster.n_ranks == 2
+        assert cluster.memory_limit == cfg.memory_limit_bytes(64)
+        assert cluster.disk_model.bandwidth == pytest.approx(8e6 / 50.0)
+
+
+class TestRunPclouds:
+    def test_end_to_end_small_point(self):
+        cfg = ExperimentConfig(
+            n_records=3000, n_ranks=2, q_root=60, sample_size=300,
+            min_node=32, seed=4,
+        )
+        res = run_pclouds(cfg)
+        validate_tree(res.tree)
+        assert res.elapsed > 0
+        assert res.n_large_nodes >= 1
+
+    def test_speedup_series_shape(self):
+        pts = speedup_series(
+            3000, [1, 2], q_root=60, sample_size=300, min_node=32, seed=4
+        )
+        assert [p.n_ranks for p in pts] == [1, 2]
+        assert pts[0].speedup == pytest.approx(1.0)
+        assert pts[1].speedup > 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 0.125]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_format_series(self):
+        s = format_series("speedup", [1, 2], [1.0, 1.9])
+        assert s.startswith("speedup:")
+        assert "(2, 1.9)" in s
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123], [12345.6], [1.5]])
+        assert "0.000123" in text and "1.23e+04" in text and "1.5" in text

@@ -1,0 +1,154 @@
+"""Feature importance, cross-validation, reduced-error pruning."""
+
+import numpy as np
+import pytest
+
+from repro.clouds import (
+    CloudsBuilder,
+    CloudsConfig,
+    StoppingRule,
+    accuracy,
+    cross_validate,
+    fit_direct,
+    gini_importance,
+    permutation_importance,
+    reduced_error_prune,
+    validate_tree,
+)
+from repro.data import generate_quest, quest_schema
+
+
+@pytest.fixture(scope="module")
+def fitted(schema):
+    cols, labels = generate_quest(4000, function=2, seed=51, noise=0.02)
+    tree = fit_direct(schema, cols, labels, StoppingRule(min_node=16))
+    return tree, cols, labels
+
+
+class TestGiniImportance:
+    def test_function2_driven_by_age_and_salary(self, fitted):
+        tree, _, _ = fitted
+        imp = gini_importance(tree)
+        top_two = sorted(imp, key=imp.get, reverse=True)[:2]
+        assert set(top_two) == {"age", "salary"}
+        assert imp["age"] + imp["salary"] > 0.8
+
+    def test_normalized_sums_to_one(self, fitted):
+        tree, _, _ = fitted
+        assert sum(gini_importance(tree).values()) == pytest.approx(1.0)
+
+    def test_unnormalized_positive(self, fitted):
+        tree, _, _ = fitted
+        raw = gini_importance(tree, normalize=False)
+        assert all(v >= 0 for v in raw.values())
+        assert max(raw.values()) > 0
+
+    def test_every_attribute_reported(self, fitted, schema):
+        tree, _, _ = fitted
+        assert set(gini_importance(tree)) == set(schema.names)
+
+    def test_single_leaf_all_zero(self, schema):
+        cols, _ = generate_quest(100, seed=1)
+        labels = np.zeros(100, dtype=np.int32)
+        tree = fit_direct(schema, cols, labels)
+        assert all(v == 0.0 for v in gini_importance(tree).values())
+
+
+class TestPermutationImportance:
+    def test_agrees_with_gini_on_top_features(self, fitted):
+        tree, cols, labels = fitted
+        perm = permutation_importance(tree, cols, labels, n_repeats=2, seed=3)
+        top_two = sorted(perm, key=perm.get, reverse=True)[:2]
+        assert set(top_two) == {"age", "salary"}
+
+    def test_irrelevant_attribute_near_zero(self, fitted):
+        tree, cols, labels = fitted
+        perm = permutation_importance(tree, cols, labels, n_repeats=2, seed=4)
+        assert perm["car"] < 0.02  # function 2 ignores `car`
+
+    def test_repeats_validated(self, fitted):
+        tree, cols, labels = fitted
+        with pytest.raises(ValueError):
+            permutation_importance(tree, cols, labels, n_repeats=0)
+
+
+class TestCrossValidate:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_quest(3000, function=2, seed=52, noise=0.05)
+
+    def test_kfold_accuracy_reasonable(self, schema, data):
+        cols, labels = data
+        builder = CloudsBuilder(
+            schema, CloudsConfig(q_root=50, sample_size=400, min_node=16)
+        )
+        res = cross_validate(
+            lambda c, y: builder.fit_arrays(c, y, seed=1), cols, labels, k=4,
+            seed=2,
+        )
+        assert len(res.fold_accuracies) == 4
+        assert 0.8 < res.mean_accuracy < 1.0
+        assert res.std_accuracy < 0.1
+
+    def test_folds_partition_data(self, data):
+        from repro.clouds.validation import _stratified_folds
+
+        _, labels = data
+        folds = _stratified_folds(labels, 5, seed=0)
+        all_rows = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(all_rows, np.arange(len(labels)))
+
+    def test_stratification_preserves_class_balance(self, data):
+        from repro.clouds.validation import _stratified_folds
+
+        _, labels = data
+        overall = np.mean(labels)
+        for fold in _stratified_folds(labels, 5, seed=1):
+            assert abs(np.mean(labels[fold]) - overall) < 0.05
+
+    def test_parameter_validation(self, schema, data):
+        cols, labels = data
+        fit = lambda c, y: fit_direct(schema, c, y)  # noqa: E731
+        with pytest.raises(ValueError):
+            cross_validate(fit, cols, labels, k=1)
+        with pytest.raises(ValueError):
+            cross_validate(
+                fit,
+                {k: v[:3] for k, v in cols.items()},
+                labels[:3],
+                k=5,
+            )
+
+
+class TestReducedErrorPrune:
+    def test_prunes_noise_and_keeps_holdout_accuracy(self, schema):
+        cols, labels = generate_quest(6000, function=2, seed=53, noise=0.15)
+        tr = {k: v[:4000] for k, v in cols.items()}
+        ho = {k: v[4000:] for k, v in cols.items()}
+        tree = fit_direct(schema, tr, labels[:4000], StoppingRule(min_node=2))
+        acc_before = accuracy(labels[4000:], tree.predict(ho))
+        _, removed = reduced_error_prune(tree, ho, labels[4000:])
+        assert removed > 0
+        validate_tree(tree)
+        acc_after = accuracy(labels[4000:], tree.predict(ho))
+        # by construction REP never hurts holdout accuracy
+        assert acc_after >= acc_before
+
+    def test_pure_tree_untouched(self, schema, quest_clean):
+        cols, labels = quest_clean
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=64))
+        n0 = tree.n_nodes
+        _, removed = reduced_error_prune(tree, cols, labels)
+        # pruning against the training set of a consistent tree removes
+        # only splits that never change a prediction
+        assert tree.n_nodes <= n0
+        assert accuracy(labels, tree.predict(cols)) > 0.99
+
+    def test_empty_holdout_collapses_nothing_wrongly(self, schema):
+        cols, labels = generate_quest(800, function=2, seed=54, noise=0.02)
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=32))
+        empty = {k: v[:0] for k, v in cols.items()}
+        _, removed = reduced_error_prune(tree, empty, labels[:0])
+        # zero holdout errors everywhere: ties collapse to leaves safely
+        assert removed >= 0
+        validate_tree(tree)

@@ -1,0 +1,131 @@
+"""Cross-module integration: pCLOUDS over the real-file spool backend,
+sequential-vs-parallel agreement, end-to-end pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.clouds import (
+    CloudsBuilder,
+    CloudsConfig,
+    accuracy,
+    mdl_prune,
+    validate_tree,
+)
+from repro.core import DistributedDataset, PClouds, PCloudsConfig
+from repro.data import generate_quest, quest_schema
+from repro.ooc import FileBackend
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_quest(2500, function=2, seed=31, noise=0.03)
+
+
+def test_pclouds_on_real_files(tmp_path, data):
+    """The out-of-core path must not secretly rely on in-memory chunk
+    aliasing: run the whole parallel fit over .npy spool files."""
+    cols, labels = data
+    schema = quest_schema()
+    backends = []
+
+    def factory():
+        b = FileBackend(str(tmp_path / f"spool{len(backends)}"))
+        backends.append(b)
+        return b
+
+    cluster = Cluster(3, backend_factory=factory, seed=0, timeout=120.0)
+    ds = DistributedDataset.create(cluster, schema, cols, labels, seed=1)
+    cfg = PCloudsConfig(clouds=CloudsConfig(q_root=50, sample_size=400, min_node=16))
+    res = PClouds(cfg).fit(ds, seed=2)
+    validate_tree(res.tree)
+    assert accuracy(labels, res.tree.predict(cols)) > 0.9
+    assert sum(b.chunks_created for b in backends) > 0
+
+    # identical tree to the default in-memory backend
+    cluster2 = Cluster(3, seed=0, timeout=120.0)
+    ds2 = DistributedDataset.create(cluster2, schema, cols, labels, seed=1)
+    res2 = PClouds(cfg).fit(ds2, seed=2)
+    assert res.tree.to_dict() == res2.tree.to_dict()
+
+
+def test_parallel_matches_sequential_quality(data):
+    """pCLOUDS and sequential CLOUDS share the split machinery; given the
+    same hyper-parameters their trees must be of equivalent quality."""
+    cols, labels = data
+    schema = quest_schema()
+    seq = CloudsBuilder(
+        schema, CloudsConfig(method="sse", q_root=50, sample_size=400, min_node=16)
+    ).fit_arrays(cols, labels, seed=3)
+
+    cluster = Cluster(4, seed=0, timeout=120.0)
+    ds = DistributedDataset.create(cluster, schema, cols, labels, seed=1)
+    par = PClouds(
+        PCloudsConfig(
+            clouds=CloudsConfig(method="sse", q_root=50, sample_size=400, min_node=16)
+        )
+    ).fit(ds, seed=3)
+
+    acc_seq = accuracy(labels, seq.predict(cols))
+    acc_par = accuracy(labels, par.tree.predict(cols))
+    assert abs(acc_seq - acc_par) < 0.05
+
+
+def test_full_pipeline_train_prune_predict(data):
+    """The workflow a downstream user runs: distribute, fit in parallel,
+    prune at the front-end, serialise, reload, predict."""
+    from repro.clouds.tree import DecisionTree
+
+    cols, labels = data
+    schema = quest_schema()
+    cluster = Cluster(4, seed=0, timeout=120.0)
+    ds = DistributedDataset.create(cluster, schema, cols, labels, seed=1)
+    res = PClouds(
+        PCloudsConfig(clouds=CloudsConfig(q_root=50, sample_size=400, min_node=8))
+    ).fit(ds)
+    tree, removed = mdl_prune(res.tree)
+    assert removed >= 0
+    wire = tree.to_dict()
+    reloaded = DecisionTree.from_dict(wire, schema)
+    np.testing.assert_array_equal(tree.predict(cols), reloaded.predict(cols))
+    assert accuracy(labels, reloaded.predict(cols)) > 0.9
+
+
+def test_distribution_policies_only_change_time(data):
+    cols, labels = data
+    schema = quest_schema()
+    trees = {}
+    for policy in ("shuffle", "multinomial"):
+        cluster = Cluster(4, seed=0, timeout=120.0)
+        ds = DistributedDataset.create(
+            cluster, schema, cols, labels, seed=1, policy=policy
+        )
+        res = PClouds(
+            PCloudsConfig(clouds=CloudsConfig(q_root=50, sample_size=400))
+        ).fit(ds, seed=2)
+        trees[policy] = res
+    # same global statistics => same boundary splits; sampling differs by
+    # placement so compare quality, not structure
+    a = accuracy(labels, trees["shuffle"].tree.predict(cols))
+    b = accuracy(labels, trees["multinomial"].tree.predict(cols))
+    assert abs(a - b) < 0.05
+
+
+def test_unknown_policy_rejected(data):
+    cols, labels = data
+    cluster = Cluster(2, seed=0)
+    with pytest.raises(ValueError):
+        DistributedDataset.create(
+            cluster, quest_schema(), cols, labels, policy="teleport"
+        )
+
+
+def test_dataset_bookkeeping(data):
+    cols, labels = data
+    cluster = Cluster(5, seed=0)
+    ds = DistributedDataset.create(cluster, quest_schema(), cols, labels, seed=2)
+    assert ds.n_ranks == 5
+    assert sum(ds.local_rows()) == len(labels)
+    assert ds.n_total == len(labels)
+    # clocks were reset: the paper times from after the distribution
+    assert all(c.clock.now == 0.0 for c in ds.contexts)

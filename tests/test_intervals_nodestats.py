@@ -1,0 +1,190 @@
+"""Interval construction, histogramming, and node statistics."""
+
+import numpy as np
+import pytest
+
+from repro.clouds.intervals import (
+    boundaries_from_sample,
+    categorical_count_matrix,
+    class_counts,
+    interval_histogram,
+    interval_index,
+    scale_q,
+)
+from repro.clouds.nodestats import (
+    accumulate_batch,
+    empty_stats,
+    stats_from_arrays,
+)
+from repro.data import generate_quest, quest_schema
+
+
+class TestBoundaries:
+    def test_equal_frequency_on_uniform(self):
+        sample = np.arange(1000, dtype=float)
+        b = boundaries_from_sample(sample, 4)
+        assert len(b) == 3
+        np.testing.assert_allclose(b, [249, 499, 749])  # order statistics
+
+    def test_boundaries_are_sample_values(self):
+        rng = np.random.default_rng(5)
+        sample = rng.normal(size=200)
+        b = boundaries_from_sample(sample, 16)
+        assert np.isin(b, sample).all()
+
+    def test_boundaries_strictly_increasing(self):
+        rng = np.random.default_rng(0)
+        b = boundaries_from_sample(rng.normal(size=500), 50)
+        assert (np.diff(b) > 0).all()
+
+    def test_duplicates_collapse(self):
+        sample = np.array([1.0] * 50 + [2.0] * 50)
+        b = boundaries_from_sample(sample, 10)
+        assert len(b) <= 2  # only two distinct values exist
+
+    def test_constant_sample_no_boundaries(self):
+        assert len(boundaries_from_sample(np.ones(100), 10)) <= 1
+
+    def test_empty_sample(self):
+        assert len(boundaries_from_sample(np.empty(0), 5)) == 0
+
+    def test_single_interval(self):
+        assert len(boundaries_from_sample(np.arange(10.0), 1)) == 0
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            boundaries_from_sample(np.arange(10.0), 0)
+
+
+class TestIntervalIndex:
+    def test_boundary_value_goes_left(self):
+        b = np.array([1.0, 2.0])
+        idx = interval_index(np.array([0.5, 1.0, 1.5, 2.0, 2.5]), b)
+        np.testing.assert_array_equal(idx, [0, 0, 1, 1, 2])
+
+    def test_no_boundaries_single_interval(self):
+        idx = interval_index(np.array([1.0, 5.0]), np.empty(0))
+        np.testing.assert_array_equal(idx, [0, 0])
+
+
+class TestHistogram:
+    def test_histogram_totals(self):
+        rng = np.random.default_rng(1)
+        values = rng.random(300)
+        labels = rng.integers(0, 3, 300)
+        b = boundaries_from_sample(values, 10)
+        h = interval_histogram(values, labels, b, 3)
+        assert h.shape == (len(b) + 1, 3)
+        np.testing.assert_array_equal(h.sum(axis=0), class_counts(labels, 3))
+
+    def test_histogram_is_cumulative_consistent(self):
+        values = np.array([0.1, 0.5, 0.9, 1.5])
+        labels = np.array([0, 1, 0, 1])
+        b = np.array([0.5, 1.0])
+        h = interval_histogram(values, labels, b, 2)
+        np.testing.assert_array_equal(h, [[1, 1], [1, 0], [0, 1]])
+
+    def test_class_counts(self):
+        np.testing.assert_array_equal(
+            class_counts(np.array([0, 2, 2, 1]), 4), [1, 1, 2, 0]
+        )
+
+    def test_categorical_count_matrix(self):
+        codes = np.array([0, 1, 1, 2])
+        labels = np.array([0, 0, 1, 1])
+        m = categorical_count_matrix(codes, labels, 3, 2)
+        np.testing.assert_array_equal(m, [[1, 0], [1, 1], [0, 1]])
+
+
+class TestScaleQ:
+    def test_proportional(self):
+        assert scale_q(1000, 500_000, 1_000_000) == 500
+
+    def test_floor_at_q_min(self):
+        assert scale_q(1000, 10, 1_000_000, q_min=5) == 5
+
+    def test_root_unchanged(self):
+        assert scale_q(1000, 1_000_000, 1_000_000) == 1000
+
+    def test_zero_root(self):
+        assert scale_q(1000, 0, 0) == 2
+
+
+class TestNodeStats:
+    @pytest.fixture
+    def setup(self):
+        schema = quest_schema()
+        cols, labels = generate_quest(1200, seed=3)
+        bounds = {
+            a.name: boundaries_from_sample(cols[a.name], 8) for a in schema.numeric
+        }
+        return schema, cols, labels, bounds
+
+    def test_batchwise_equals_oneshot(self, setup):
+        schema, cols, labels, bounds = setup
+        whole = stats_from_arrays(schema, cols, labels, bounds)
+        parts = empty_stats(schema, bounds)
+        for lo in range(0, 1200, 100):
+            accumulate_batch(
+                parts,
+                schema,
+                {k: v[lo : lo + 100] for k, v in cols.items()},
+                labels[lo : lo + 100],
+            )
+        np.testing.assert_array_equal(whole.total, parts.total)
+        for name in whole.numeric:
+            np.testing.assert_array_equal(
+                whole.numeric[name].hist, parts.numeric[name].hist
+            )
+        for name in whole.categorical:
+            np.testing.assert_array_equal(
+                whole.categorical[name], parts.categorical[name]
+            )
+
+    def test_add_inplace_matches_concat(self, setup):
+        schema, cols, labels, bounds = setup
+        half = {k: v[:600] for k, v in cols.items()}
+        rest = {k: v[600:] for k, v in cols.items()}
+        a = stats_from_arrays(schema, half, labels[:600], bounds)
+        b = stats_from_arrays(schema, rest, labels[600:], bounds)
+        a.add_inplace(b)
+        whole = stats_from_arrays(schema, cols, labels, bounds)
+        np.testing.assert_array_equal(a.total, whole.total)
+        for name in whole.numeric:
+            np.testing.assert_array_equal(
+                a.numeric[name].hist, whole.numeric[name].hist
+            )
+
+    def test_add_inplace_rejects_mismatched_intervals(self, setup):
+        schema, cols, labels, bounds = setup
+        a = stats_from_arrays(schema, cols, labels, bounds)
+        other_bounds = {
+            name: b[:-1] if len(b) else b for name, b in bounds.items()
+        }
+        b = stats_from_arrays(schema, cols, labels, other_bounds)
+        with pytest.raises(ValueError):
+            a.add_inplace(b)
+
+    def test_left_of_interval_shifts_cumsum(self, setup):
+        schema, cols, labels, bounds = setup
+        stats = stats_from_arrays(schema, cols, labels, bounds)
+        ns = stats.numeric["salary"]
+        left = ns.left_of_interval()
+        np.testing.assert_array_equal(left[0], 0)
+        np.testing.assert_array_equal(
+            left[-1] + ns.hist[-1], stats.total
+        )
+
+    def test_cumulative_rows_are_boundary_counts(self, setup):
+        schema, cols, labels, bounds = setup
+        stats = stats_from_arrays(schema, cols, labels, bounds)
+        ns = stats.numeric["age"]
+        cum = ns.cumulative()
+        assert cum.shape[0] == len(ns.boundaries)
+        for i, b in enumerate(ns.boundaries):
+            mask = cols["age"] <= b
+            np.testing.assert_array_equal(cum[i], class_counts(labels[mask], 2))
+
+    def test_n_property(self, setup):
+        schema, cols, labels, bounds = setup
+        assert stats_from_arrays(schema, cols, labels, bounds).n == 1200

@@ -1,0 +1,152 @@
+"""The SPMD launcher: determinism, failure propagation, context reuse."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, SpmdProgramError
+
+from conftest import make_cluster
+
+
+def test_run_returns_per_rank_results(cluster4):
+    run = cluster4.run(lambda ctx: ctx.rank**2)
+    assert run.results == [0, 1, 4, 9]
+    assert run.result == 0
+
+
+def test_elapsed_is_max_rank_clock(cluster4):
+    def prog(ctx):
+        ctx.clock.advance(float(ctx.rank))
+
+    assert cluster4.run(prog).elapsed == pytest.approx(3.0)
+
+
+def test_cluster_requires_positive_ranks():
+    with pytest.raises(ValueError):
+        Cluster(0)
+
+
+def test_failure_propagates_with_rank(cluster4):
+    def prog(ctx):
+        if ctx.rank == 2:
+            raise RuntimeError("boom")
+        ctx.comm.barrier()
+
+    with pytest.raises(SpmdProgramError) as e:
+        cluster4.run(prog)
+    assert e.value.rank == 2
+    assert isinstance(e.value.cause, RuntimeError)
+
+
+def test_failure_before_collective_does_not_hang(cluster4):
+    def prog(ctx):
+        if ctx.rank == 0:
+            raise ValueError("early")
+        ctx.comm.allgather(ctx.rank)
+        ctx.comm.allgather(ctx.rank)
+
+    with pytest.raises(SpmdProgramError):
+        cluster4.run(prog)
+
+
+def test_simulated_time_is_deterministic(cluster4):
+    def prog(ctx):
+        for _ in range(5):
+            ctx.comm.allgather(np.zeros(100))
+            ctx.charge_compute(ops=1000 * (ctx.rank + 1))
+            ctx.disk.charge_read(4096)
+        return ctx.clock.now
+
+    a = Cluster(4, seed=1).run(prog)
+    b = Cluster(4, seed=1).run(prog)
+    assert a.results == b.results
+    assert a.elapsed == b.elapsed
+
+
+def test_contexts_reusable_across_runs():
+    c = make_cluster(2)
+    ctxs = c.make_contexts()
+
+    def write(ctx):
+        from repro.ooc import OocArray
+
+        f = OocArray(ctx.disk, np.float64, name="keep")
+        f.append(np.arange(4, dtype=np.float64) + ctx.rank)
+        return f
+
+    run1 = c.run(write, contexts=ctxs)
+    files = run1.results
+
+    def read(ctx):
+        return files[ctx.rank].read_all().sum()
+
+    run2 = c.run(read, contexts=ctxs)
+    assert run2.results == [pytest.approx(6.0), pytest.approx(10.0)]
+
+
+def test_reset_clocks_between_runs():
+    c = make_cluster(2)
+    ctxs = c.make_contexts()
+    c.run(lambda ctx: ctx.clock.advance(10.0), contexts=ctxs)
+    run = c.run(lambda ctx: ctx.clock.now, contexts=ctxs, reset_clocks=True)
+    assert run.results == [0.0, 0.0]
+
+
+def test_no_reset_keeps_clocks():
+    c = make_cluster(2)
+    ctxs = c.make_contexts()
+    c.run(lambda ctx: ctx.clock.advance(10.0), contexts=ctxs)
+    run = c.run(lambda ctx: ctx.clock.now, contexts=ctxs, reset_clocks=False)
+    assert run.results == [10.0, 10.0]
+
+
+def test_context_list_size_mismatch_rejected():
+    c = make_cluster(2)
+    ctxs = make_cluster(3).make_contexts()
+    with pytest.raises(ValueError):
+        c.run(lambda ctx: None, contexts=ctxs)
+
+
+def test_rank_rngs_differ_but_are_seeded():
+    c = make_cluster(4, seed=9)
+    draws1 = c.run(lambda ctx: float(ctx.rng.random())).results
+    draws2 = Cluster(4, seed=9).run(lambda ctx: float(ctx.rng.random())).results
+    assert draws1 == draws2  # same seed, same streams
+    assert len(set(draws1)) == 4  # distinct per rank
+
+
+def test_charge_compute_accumulates_stats(cluster4):
+    def prog(ctx):
+        ctx.charge_compute(ops=1_000_000)
+        ctx.charge_compute(seconds=0.5)
+        ctx.charge_sort(1024)
+        return ctx.stats.compute_time
+
+    out = cluster4.run(prog).results
+    expected = 1_000_000 * cluster4.compute.seconds_per_op + 0.5 + cluster4.compute.sort(1024)
+    assert out[0] == pytest.approx(expected)
+
+
+def test_memory_limit_reaches_contexts():
+    c = make_cluster(2, memory_limit=1234)
+    out = c.run(lambda ctx: ctx.memory.limit).results
+    assert out == [1234, 1234]
+
+
+def test_phase_times_surface_in_run():
+    c = make_cluster(2)
+
+    def prog(ctx):
+        ctx.timer.start("work")
+        ctx.clock.advance(2.0)
+        ctx.timer.stop()
+
+    run = c.run(prog)
+    assert run.phase_times[0]["work"] == pytest.approx(2.0)
+
+
+def test_args_and_kwargs_forwarded(cluster4):
+    def prog(ctx, a, b=0):
+        return a + b + ctx.rank
+
+    assert cluster4.run(prog, 10, b=5).results == [15, 16, 17, 18]

@@ -1,0 +1,161 @@
+"""Cross-cutting coverage: OOC-vs-in-core split agreement, strategy
+executors at p=1, generator predicates, StrategyResult surface."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.clock import SimClock
+from repro.cluster.diskmodel import DiskModel
+from repro.cluster.stats import RankStats
+from repro.clouds import CloudsBuilder, CloudsConfig, accuracy, validate_tree
+from repro.data import GROUP_A, generate_quest
+from repro.dnc import STRATEGIES, SyntheticDnc, run_strategy
+from repro.ooc import ColumnSet, InMemoryBackend, LocalDisk
+
+from conftest import make_cluster
+
+
+def make_disk():
+    return LocalDisk(DiskModel(), SimClock(), RankStats(), InMemoryBackend())
+
+
+class TestOocVsInCoreSplits:
+    """The streaming and in-memory paths share the split machinery but
+    not the scanning code; their split decisions must agree exactly when
+    fed identical statistics inputs."""
+
+    def test_single_node_split_identical(self, schema, quest_small):
+        from repro.clouds.builder import (
+            find_split_from_arrays,
+            node_boundaries,
+        )
+        from repro.clouds.nodestats import empty_stats, accumulate_batch
+        from repro.clouds.ss import find_split_ss
+
+        cols, labels = quest_small
+        sample = {k: v[:300] for k, v in cols.items()}
+        bounds = node_boundaries(schema, sample, 30)
+        cfg = CloudsConfig(method="sse", q_root=30)
+
+        in_core, _, _ = find_split_from_arrays(
+            schema, cols, labels, bounds, cfg
+        )
+
+        # streaming statistics in batches of 111
+        stats = empty_stats(schema, bounds)
+        for lo in range(0, len(labels), 111):
+            accumulate_batch(
+                stats, schema,
+                {k: v[lo : lo + 111] for k, v in cols.items()},
+                labels[lo : lo + 111],
+            )
+        streamed_ss = find_split_ss(stats, schema)
+        # the SS stage must agree bit-for-bit; SSE refinement operates on
+        # the same alive machinery (tested elsewhere)
+        from repro.clouds.nodestats import stats_from_arrays
+
+        whole = stats_from_arrays(schema, cols, labels, bounds)
+        ss_whole = find_split_ss(whole, schema)
+        assert streamed_ss.attribute == ss_whole.attribute
+        assert streamed_ss.gini == pytest.approx(ss_whole.gini)
+        assert in_core.gini <= ss_whole.gini + 1e-12
+
+    def test_fit_columnset_ss_method(self, schema, quest_small):
+        cols, labels = quest_small
+        cs = ColumnSet.from_arrays(make_disk(), schema, cols, labels, batch_rows=256)
+        tree = CloudsBuilder(
+            schema, CloudsConfig(method="ss", q_root=40, sample_size=300, min_node=32)
+        ).fit_columnset(cs, seed=1)
+        validate_tree(tree)
+        assert accuracy(labels, tree.predict(cols)) > 0.85
+
+
+class TestStrategiesSingleRank:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_strategy_runs_on_one_rank(self, strategy):
+        problem = SyntheticDnc(leaf_records=64)
+        res = run_strategy(make_cluster(1), problem, 2000, strategy, seed=1)
+        o = res.outcome
+        assert o.n_tasks - o.n_leaves + 1 == o.n_leaves
+        assert res.elapsed > 0
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_single_rank_outcomes_agree(self, strategy):
+        problem = SyntheticDnc(leaf_records=64)
+        base = run_strategy(make_cluster(1), problem, 2000, "data", seed=1)
+        res = run_strategy(make_cluster(1), problem, 2000, strategy, seed=1)
+        assert (res.outcome.n_tasks, res.outcome.max_depth) == (
+            base.outcome.n_tasks,
+            base.outcome.max_depth,
+        )
+
+
+class TestStrategyResultSurface:
+    def test_properties(self):
+        res = run_strategy(
+            make_cluster(2), SyntheticDnc(leaf_records=256), 1500, "data", seed=2
+        )
+        assert res.bytes_read > 0
+        assert res.collectives > 0
+        assert res.strategy == "data"
+        row = res.row()
+        assert row[1] == res.elapsed
+
+
+class TestGeneratorPredicates:
+    def test_function3_matches_definition(self):
+        cols, labels = generate_quest(3000, function=3, seed=8, noise=0.0)
+        age, el = cols["age"], cols["elevel"]
+        expect = (
+            ((age < 40) & np.isin(el, (0, 1)))
+            | ((age >= 40) & (age < 60) & np.isin(el, (1, 2, 3)))
+            | ((age >= 60) & np.isin(el, (2, 3, 4)))
+        )
+        np.testing.assert_array_equal(labels == GROUP_A, expect)
+
+    def test_function7_matches_definition(self):
+        cols, labels = generate_quest(3000, function=7, seed=8, noise=0.0)
+        disposable = (
+            0.67 * (cols["salary"] + cols["commission"])
+            - 0.2 * cols["loan"]
+            - 20_000.0
+        )
+        np.testing.assert_array_equal(labels == GROUP_A, disposable > 0)
+
+    def test_function10_uses_equity(self):
+        cols, labels = generate_quest(3000, function=10, seed=8, noise=0.0)
+        equity = 0.1 * cols["hvalue"] * np.maximum(cols["hyears"] - 20.0, 0.0)
+        disposable = (
+            0.67 * (cols["salary"] + cols["commission"])
+            - 5_000.0 * cols["elevel"]
+            + 0.2 * equity
+            - 10_000.0
+        )
+        np.testing.assert_array_equal(labels == GROUP_A, disposable > 0)
+
+    @pytest.mark.parametrize("fn", [1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+    def test_both_classes_present(self, fn):
+        # several published functions (notably 8 and 10) are heavily
+        # skewed under the Quest value ranges; both classes must still
+        # occur, and the balanced predicates stay balanced
+        _, labels = generate_quest(5000, function=fn, seed=12)
+        frac = float(np.mean(labels == GROUP_A))
+        assert 0.001 < frac < 0.9995
+        if fn in (1, 2, 7):
+            assert 0.1 < frac < 0.9
+
+
+class TestSplitTraced:
+    def test_comm_split_appears_in_schedule(self):
+        from repro.cluster.trace import attach_tracers
+
+        c = make_cluster(4)
+        ctxs = c.make_contexts()
+        tracers = attach_tracers(ctxs)
+
+        def prog(ctx):
+            sub = ctx.comm.split(ctx.rank % 2)
+            return sub.size
+
+        c.run(prog, contexts=ctxs)
+        assert "split" in tracers[0].schedule()

@@ -1,0 +1,171 @@
+"""Multi-class and unusual-schema coverage: the code paths the two-class
+Quest workload never touches (2^c SSE corners, multi-class categorical
+subsets, >2-class confusion matrices, categorical-only schemas)."""
+
+import numpy as np
+import pytest
+
+from repro.clouds import (
+    CloudsBuilder,
+    CloudsConfig,
+    SliqBuilder,
+    SprintBuilder,
+    StoppingRule,
+    accuracy,
+    confusion_matrix,
+    fit_direct,
+    mdl_prune,
+    validate_tree,
+)
+from repro.core import DistributedDataset, PClouds, PCloudsConfig, parallel_evaluate
+from repro.data import make_schema
+from repro.data.synthetic import blob_schema, make_blobs
+
+from conftest import make_cluster
+
+
+@pytest.fixture(scope="module")
+def blobs4():
+    return make_blobs(
+        3000, blob_schema(n_numeric=3, n_categorical=2, cardinality=4,
+                          n_classes=4),
+        separation=2.5, noise=0.02, seed=9,
+    )
+
+
+class TestMakeBlobs:
+    def test_shapes_and_ranges(self, blobs4):
+        schema, cols, labels = blobs4
+        assert schema.validate_columns(cols, labels) == 3000
+        assert set(np.unique(labels)) == {0, 1, 2, 3}
+
+    def test_separation_orders_means(self):
+        schema, cols, labels = make_blobs(4000, separation=5.0, seed=1)
+        means = [cols["x0"][labels == k].mean() for k in range(schema.n_classes)]
+        assert all(b > a for a, b in zip(means, means[1:]))
+
+    def test_categoricals_correlate_with_class(self, blobs4):
+        _, cols, labels = blobs4
+        agree = np.mean(cols["c0"] == (labels % 4))
+        assert agree > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_blobs(-1)
+        with pytest.raises(ValueError):
+            make_blobs(10, noise=2.0)
+
+
+class TestMulticlassSequential:
+    def test_direct_learns_blobs(self, blobs4):
+        schema, cols, labels = blobs4
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=16))
+        validate_tree(tree)
+        assert accuracy(labels, tree.predict(cols)) > 0.9
+
+    def test_exact_baselines_agree_multiclass(self, blobs4):
+        schema, cols, labels = blobs4
+        stop = StoppingRule(min_node=32)
+        direct = fit_direct(schema, cols, labels, stop)
+        sprint = SprintBuilder(schema, stop).fit(cols, labels)
+        sliq = SliqBuilder(schema, stop).fit(cols, labels)
+        np.testing.assert_array_equal(direct.predict(cols), sprint.predict(cols))
+        np.testing.assert_array_equal(direct.predict(cols), sliq.predict(cols))
+
+    def test_clouds_sse_multiclass(self, blobs4):
+        schema, cols, labels = blobs4
+        tree = CloudsBuilder(
+            schema, CloudsConfig(method="sse", q_root=60, sample_size=600,
+                                 min_node=16)
+        ).fit_arrays(cols, labels, seed=2)
+        validate_tree(tree)
+        assert accuracy(labels, tree.predict(cols)) > 0.88
+
+    def test_confusion_matrix_4_classes(self, blobs4):
+        schema, cols, labels = blobs4
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=16))
+        m = confusion_matrix(labels, tree.predict(cols), 4)
+        assert m.shape == (4, 4)
+        assert m.sum() == len(labels)
+        assert np.trace(m) > 0.9 * len(labels)
+
+    def test_mdl_pruning_multiclass(self, blobs4):
+        schema, cols, labels = blobs4
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=2))
+        _, removed = mdl_prune(tree)
+        assert removed >= 0
+        validate_tree(tree)
+
+
+class TestMulticlassParallel:
+    def test_pclouds_multiclass_matches_single_rank(self, blobs4):
+        schema, cols, labels = blobs4
+        trees = {}
+        for p in (1, 4):
+            cluster = make_cluster(p)
+            ds = DistributedDataset.create(cluster, schema, cols, labels, seed=1)
+            res = PClouds(
+                PCloudsConfig(
+                    clouds=CloudsConfig(q_root=60, sample_size=600, min_node=16)
+                )
+            ).fit(ds, seed=2)
+            validate_tree(res.tree)
+            trees[p] = res.tree
+        assert trees[1].to_dict() == trees[4].to_dict()
+        assert accuracy(labels, trees[4].predict(cols)) > 0.88
+
+    def test_parallel_evaluate_multiclass(self, blobs4):
+        schema, cols, labels = blobs4
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=16))
+        cluster = make_cluster(3)
+        ds = DistributedDataset.create(cluster, schema, cols, labels, seed=3)
+        ev = parallel_evaluate(ds, tree)
+        assert ev.confusion.shape == (4, 4)
+        assert ev.accuracy == pytest.approx(accuracy(labels, tree.predict(cols)))
+        assert len(ev.per_class_recall()) == 4
+
+
+class TestUnusualSchemas:
+    def test_categorical_only_schema(self):
+        schema = make_schema([], {"c0": 5, "c1": 3}, n_classes=2)
+        rng = np.random.default_rng(4)
+        cols = {
+            "c0": rng.integers(0, 5, 800).astype(np.int32),
+            "c1": rng.integers(0, 3, 800).astype(np.int32),
+        }
+        labels = ((cols["c0"] >= 2) ^ (cols["c1"] == 1)).astype(np.int32)
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=4))
+        assert accuracy(labels, tree.predict(cols)) == 1.0
+
+    def test_pclouds_categorical_only(self):
+        schema = make_schema([], {"c0": 6}, n_classes=2)
+        rng = np.random.default_rng(5)
+        cols = {"c0": rng.integers(0, 6, 1000).astype(np.int32)}
+        labels = (cols["c0"] % 2).astype(np.int32)
+        cluster = make_cluster(3)
+        ds = DistributedDataset.create(cluster, schema, cols, labels, seed=1)
+        res = PClouds(
+            PCloudsConfig(clouds=CloudsConfig(q_root=10, sample_size=50))
+        ).fit(ds)
+        validate_tree(res.tree)
+        assert accuracy(labels, res.tree.predict(cols)) == 1.0
+
+    def test_numeric_only_schema(self):
+        schema = make_schema(["x", "y"], {}, n_classes=3)
+        _, cols, labels = make_blobs(
+            1000,
+            make_schema(["x", "y"], {}, n_classes=3),
+            separation=4.0,
+            seed=6,
+        )
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=8))
+        assert accuracy(labels, tree.predict(cols)) > 0.95
+
+    def test_single_attribute(self):
+        schema = make_schema(["x"], {}, n_classes=2)
+        rng = np.random.default_rng(7)
+        cols = {"x": rng.normal(size=500)}
+        labels = (cols["x"] > 0.2).astype(np.int32)
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=2))
+        assert accuracy(labels, tree.predict(cols)) == 1.0
+        assert tree.root.split.attribute == "x"

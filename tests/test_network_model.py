@@ -1,0 +1,101 @@
+"""The Table-1 cost formulas of the cut-through hypercube model."""
+
+import math
+
+import pytest
+
+from repro.cluster.network import NetworkModel, _log2p
+
+
+@pytest.fixture
+def net():
+    return NetworkModel(alpha=1e-4, beta=1e-8)
+
+
+def test_log2p_values():
+    assert _log2p(1) == 0.0
+    assert _log2p(2) == 1.0
+    assert _log2p(8) == 3.0
+    assert _log2p(5) == 3.0  # non-power-of-two rounds up
+
+
+def test_log2p_rejects_zero():
+    with pytest.raises(ValueError):
+        _log2p(0)
+
+
+def test_p2p_is_alpha_plus_beta_m(net):
+    assert net.p2p(0) == pytest.approx(1e-4)
+    assert net.p2p(1_000_000) == pytest.approx(1e-4 + 1e-8 * 1e6)
+
+
+def test_broadcast_scales_with_log_p(net):
+    m = 1000
+    assert net.broadcast(m, 2) == pytest.approx((net.alpha + net.beta * m) * 1)
+    assert net.broadcast(m, 16) == pytest.approx((net.alpha + net.beta * m) * 4)
+
+
+def test_all_to_all_broadcast_formula(net):
+    # Table 1: O(alpha log p + beta m (p-1))
+    m, p = 4096, 8
+    assert net.all_to_all_broadcast(m, p) == pytest.approx(
+        net.alpha * 3 + net.beta * m * 7
+    )
+
+
+def test_gather_formula(net):
+    m, p = 512, 16
+    assert net.gather(m, p) == pytest.approx(net.alpha * 4 + net.beta * m * 16)
+
+
+def test_global_combine_bandwidth_independent_of_p(net):
+    m = 8192
+    c4 = net.global_combine(m, 4) - net.alpha * 2
+    c16 = net.global_combine(m, 16) - net.alpha * 4
+    assert c4 == pytest.approx(c16)
+
+
+def test_prefix_sum_matches_combine_shape(net):
+    assert net.prefix_sum(100, 8) == pytest.approx(net.global_combine(100, 8))
+
+
+def test_all_to_all_personalized_scales_with_p(net):
+    m = 1024
+    assert net.all_to_all_personalized(m, 2) == pytest.approx(net.p2p(m))
+    assert net.all_to_all_personalized(m, 9) == pytest.approx(8 * net.p2p(m))
+
+
+def test_alltoallv_uses_max_direction(net):
+    out_heavy = net.alltoallv(10_000, 100, 4)
+    in_heavy = net.alltoallv(100, 10_000, 4)
+    assert out_heavy == pytest.approx(in_heavy)
+    assert out_heavy == pytest.approx(net.alpha * 3 + net.beta * 10_000)
+
+
+def test_single_processor_collectives_are_free_of_bandwidth(net):
+    # p=1: log term vanishes; only (p-1)=0 bandwidth terms remain
+    assert net.all_to_all_broadcast(1 << 20, 1) == 0.0
+    assert net.broadcast(1 << 20, 1) == 0.0
+    assert net.all_to_all_personalized(1 << 20, 1) == 0.0
+
+
+def test_costs_monotone_in_message_size(net):
+    for fn in (net.p2p, lambda m: net.broadcast(m, 8), lambda m: net.gather(m, 8)):
+        assert fn(2000) > fn(1000)
+
+
+def test_collective_latency_grows_logarithmically(net):
+    # doubling p adds exactly one alpha to the combine latency
+    for p in (2, 4, 8, 16):
+        delta = net.global_combine(0, 2 * p) - net.global_combine(0, p)
+        assert delta == pytest.approx(net.alpha)
+
+
+def test_negative_p_rejected(net):
+    with pytest.raises(ValueError):
+        net.broadcast(10, 0)
+
+
+def test_log_consistency_with_math():
+    for p in (2, 3, 7, 32, 1000):
+        assert _log2p(p) == math.ceil(math.log2(p))

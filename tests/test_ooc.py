@@ -1,0 +1,256 @@
+"""Out-of-core storage: backends, chunked files, column sets, budgets."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.clock import SimClock
+from repro.cluster.diskmodel import DiskModel
+from repro.cluster.stats import RankStats
+from repro.data import quest_schema
+from repro.ooc import (
+    ColumnSet,
+    FileBackend,
+    InMemoryBackend,
+    LocalDisk,
+    MemoryBudget,
+    MemoryExceededError,
+    OocArray,
+)
+
+
+def make_disk(**model_kwargs) -> LocalDisk:
+    return LocalDisk(
+        DiskModel(**model_kwargs), SimClock(), RankStats(), InMemoryBackend()
+    )
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend_cls", [InMemoryBackend, FileBackend])
+    def test_put_get_roundtrip(self, backend_cls, tmp_path):
+        backend = (
+            backend_cls(str(tmp_path)) if backend_cls is FileBackend else backend_cls()
+        )
+        arr = np.arange(17, dtype=np.float64)
+        h = backend.put(arr)
+        np.testing.assert_array_equal(backend.get(h), arr)
+        backend.close()
+
+    def test_in_memory_copies_on_put(self):
+        b = InMemoryBackend()
+        arr = np.zeros(4)
+        h = b.put(arr)
+        arr[0] = 99.0
+        assert b.get(h)[0] == 0.0
+
+    def test_in_memory_copies_on_get(self):
+        b = InMemoryBackend()
+        h = b.put(np.zeros(4))
+        out = b.get(h)
+        out[0] = 5.0
+        assert b.get(h)[0] == 0.0
+
+    def test_delete_frees(self):
+        b = InMemoryBackend()
+        h = b.put(np.zeros(100))
+        assert b.resident_bytes() == 800
+        b.delete(h)
+        assert b.resident_bytes() == 0
+
+    def test_file_backend_spools_to_disk(self, tmp_path):
+        b = FileBackend(str(tmp_path))
+        h = b.put(np.arange(3))
+        assert str(h).endswith(".npy")
+        b.delete(h)
+        b.delete(h)  # idempotent
+
+    def test_file_backend_owns_temp_root(self):
+        b = FileBackend()
+        import os
+
+        root = b.root
+        assert os.path.isdir(root)
+        b.close()
+        assert not os.path.isdir(root)
+
+
+class TestLocalDisk:
+    def test_read_write_charge_clock_and_stats(self):
+        disk = make_disk(seek=0.01, bandwidth=1e6)
+        disk.charge_read(1_000_000)
+        disk.charge_write(500_000)
+        assert disk.clock.now == pytest.approx(0.01 + 1.0 + 0.01 + 0.5)
+        assert disk.stats.bytes_read == 1_000_000
+        assert disk.stats.bytes_written == 500_000
+        assert disk.stats.io_calls == 2
+        assert disk.stats.io_time == pytest.approx(disk.clock.now)
+
+
+class TestOocArray:
+    def test_append_and_read_all(self):
+        f = OocArray(make_disk(), np.float64)
+        f.append(np.arange(5))
+        f.append(np.arange(5, 8))
+        np.testing.assert_array_equal(f.read_all(), np.arange(8, dtype=np.float64))
+        assert len(f) == 8
+        assert f.nchunks == 2
+        assert f.nbytes == 64
+
+    def test_iter_chunks_preserves_order(self):
+        f = OocArray(make_disk(), np.int32)
+        for i in range(4):
+            f.append(np.full(3, i, dtype=np.int32))
+        chunks = list(f.iter_chunks())
+        assert [c[0] for c in chunks] == [0, 1, 2, 3]
+
+    def test_empty_append_is_free(self):
+        f = OocArray(make_disk(), np.float64)
+        f.append(np.empty(0))
+        assert f.nchunks == 0
+        assert f.disk.stats.io_calls == 0
+
+    def test_read_empty_file(self):
+        f = OocArray(make_disk(), np.float64)
+        assert f.read_all().shape == (0,)
+
+    def test_dtype_coercion(self):
+        f = OocArray(make_disk(), np.float64)
+        f.append(np.arange(3, dtype=np.int32))
+        assert f.read_all().dtype == np.float64
+
+    def test_rejects_2d(self):
+        f = OocArray(make_disk(), np.float64)
+        with pytest.raises(ValueError):
+            f.append(np.zeros((2, 2)))
+
+    def test_use_after_delete_rejected(self):
+        f = OocArray(make_disk(), np.float64)
+        f.append(np.ones(2))
+        f.delete()
+        with pytest.raises(ValueError):
+            f.read_all()
+
+    def test_io_charged_per_access(self):
+        disk = make_disk(seek=0.001, bandwidth=1e6)
+        f = OocArray(disk, np.float64)
+        f.append(np.zeros(1000))  # one write: 8000 bytes
+        before = disk.stats.io_time
+        f.read_all()
+        assert disk.stats.io_time - before == pytest.approx(0.001 + 8000 / 1e6)
+        assert disk.stats.bytes_read == 8000
+
+    def test_disk_contents_isolated_from_caller(self):
+        f = OocArray(make_disk(), np.float64)
+        src = np.ones(4)
+        f.append(src)
+        src[:] = 7.0
+        assert f.read_all()[0] == 1.0
+
+
+class TestColumnSet:
+    @pytest.fixture
+    def loaded(self, quest_small, schema):
+        cols, labels = quest_small
+        cs = ColumnSet.from_arrays(
+            make_disk(), schema, cols, labels, name="t", batch_rows=300
+        )
+        return cs, cols, labels
+
+    def test_from_arrays_roundtrip(self, loaded, schema):
+        cs, cols, labels = loaded
+        got_cols, got_labels = cs.read_all()
+        np.testing.assert_array_equal(got_labels, labels)
+        for a in schema:
+            np.testing.assert_array_equal(got_cols[a.name], cols[a.name])
+
+    def test_nrows_and_nbytes(self, loaded, schema):
+        cs, _, labels = loaded
+        assert cs.nrows == len(labels)
+        assert cs.nbytes == len(labels) * schema.row_nbytes()
+
+    def test_iter_batches_aligned(self, loaded):
+        cs, cols, labels = loaded
+        seen = 0
+        for batch, lab in cs.iter_batches():
+            n = len(lab)
+            np.testing.assert_array_equal(
+                batch["salary"], cols["salary"][seen : seen + n]
+            )
+            np.testing.assert_array_equal(lab, labels[seen : seen + n])
+            seen += n
+        assert seen == len(labels)
+
+    def test_iter_column_with_labels(self, loaded):
+        cs, cols, labels = loaded
+        vals = np.concatenate([v for v, _ in cs.iter_column_with_labels("age")])
+        np.testing.assert_array_equal(vals, cols["age"])
+
+    def test_missing_column_rejected(self, schema):
+        cs = ColumnSet(make_disk(), schema)
+        with pytest.raises(ValueError):
+            cs.append_batch({"salary": np.zeros(2)}, np.zeros(2, dtype=np.int32))
+
+    def test_misaligned_lengths_rejected(self, schema, quest_small):
+        cols, labels = quest_small
+        cs = ColumnSet(make_disk(), schema)
+        bad = {k: v[:10] for k, v in cols.items()}
+        bad["age"] = bad["age"][:5]
+        with pytest.raises(ValueError):
+            cs.append_batch(bad, labels[:10])
+
+    def test_label_range_validated(self, schema, quest_small):
+        cols, labels = quest_small
+        cs = ColumnSet(make_disk(), schema)
+        bad_labels = labels[:10].copy()
+        bad_labels[0] = 9
+        with pytest.raises(ValueError):
+            cs.append_batch({k: v[:10] for k, v in cols.items()}, bad_labels)
+
+    def test_delete_frees_all_columns(self, loaded):
+        cs, _, _ = loaded
+        cs.delete()
+        with pytest.raises(ValueError):
+            cs.read_labels()
+
+    def test_batch_rows_controls_chunking(self, schema, quest_small):
+        cols, labels = quest_small
+        cs = ColumnSet.from_arrays(
+            make_disk(), schema, cols, labels, batch_rows=500
+        )
+        assert cs.labels_file.nchunks == 4  # 2000 rows / 500
+
+
+class TestMemoryBudget:
+    def test_unlimited_fits_everything(self):
+        assert MemoryBudget().fits(1 << 60)
+
+    def test_fits_respects_reservations(self):
+        b = MemoryBudget(limit=100)
+        assert b.fits(100)
+        with b.reserve(60):
+            assert b.fits(40)
+            assert not b.fits(41)
+        assert b.fits(100)
+
+    def test_overcommit_raises(self):
+        b = MemoryBudget(limit=10)
+        with pytest.raises(MemoryExceededError):
+            b.reserve(11)
+
+    def test_high_water_tracks_peak(self):
+        b = MemoryBudget(limit=100)
+        with b.reserve(70):
+            pass
+        with b.reserve(30):
+            pass
+        assert b.high_water == 70
+
+    def test_negative_reservation_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(limit=10).reserve(-1)
+
+    def test_nested_reservations(self):
+        b = MemoryBudget(limit=100)
+        with b.reserve(50):
+            with b.reserve(50):
+                assert b.reserved == 100
+        assert b.reserved == 0

@@ -1,0 +1,223 @@
+"""pCLOUDS end-to-end: correctness across machine sizes, the mixed
+parallelism structure, load balance, and the paper's scaling behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.clouds import CloudsConfig, accuracy, validate_tree
+from repro.core import DistributedDataset, PClouds, PCloudsConfig
+from repro.data import generate_quest, quest_schema
+
+from conftest import make_cluster
+
+
+def fit(p, cols, labels, *, q_root=80, q_switch=10, method="sse",
+        exchange="attribute", memory_limit=None, seed=0, min_node=8,
+        purity=1.0, sample_size=600, scaled=False):
+    schema = quest_schema()
+    if scaled:
+        from repro.bench.harness import scaled_models
+
+        net, disk, compute = scaled_models(100.0)
+        cluster = make_cluster(
+            p, memory_limit=memory_limit, seed=seed,
+            network=net, disk=disk, compute=compute,
+        )
+    else:
+        cluster = make_cluster(p, memory_limit=memory_limit, seed=seed)
+    ds = DistributedDataset.create(cluster, schema, cols, labels, seed=seed + 1)
+    cfg = PCloudsConfig(
+        clouds=CloudsConfig(
+            method=method, q_root=q_root, sample_size=sample_size,
+            min_node=min_node, purity=purity,
+        ),
+        q_switch=q_switch,
+        exchange=exchange,
+    )
+    return PClouds(cfg).fit(ds, seed=seed + 2)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_quest(4000, function=2, seed=13, noise=0.03)
+
+
+class TestCorrectness:
+    def test_single_rank_builds_valid_tree(self, data):
+        cols, labels = data
+        res = fit(1, cols, labels)
+        validate_tree(res.tree)
+        assert accuracy(labels, res.tree.predict(cols)) > 0.9
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 8])
+    def test_tree_identical_across_machine_sizes(self, data, p):
+        """Data parallelism must not change the result: statistics are
+        global sums, so any p yields the tree of p=1."""
+        cols, labels = data
+        base = fit(1, cols, labels)
+        res = fit(p, cols, labels)
+        assert res.tree.to_dict() == base.tree.to_dict()
+
+    def test_exchange_variants_agree(self, data):
+        cols, labels = data
+        a = fit(4, cols, labels, exchange="attribute")
+        b = fit(4, cols, labels, exchange="allreduce")
+        d = fit(4, cols, labels, exchange="distributed")
+        assert a.tree.to_dict() == b.tree.to_dict()
+        assert a.tree.to_dict() == d.tree.to_dict()
+
+    def test_distributed_exchange_more_ranks_than_attributes(self, data):
+        """The distributed method's whole point: interval-granular
+        ownership keeps all ranks busy even when p > #attributes."""
+        cols, labels = data
+        a = fit(12, cols, labels, exchange="attribute")
+        d = fit(12, cols, labels, exchange="distributed")
+        assert a.tree.to_dict() == d.tree.to_dict()
+
+    def test_ss_method_parallel(self, data):
+        cols, labels = data
+        res = fit(4, cols, labels, method="ss")
+        validate_tree(res.tree)
+        assert accuracy(labels, res.tree.predict(cols)) > 0.85
+
+    def test_memory_limit_does_not_change_tree(self, data):
+        """In-core vs streaming access changes only I/O, never results."""
+        cols, labels = data
+        unlimited = fit(4, cols, labels, memory_limit=None)
+        tight = fit(4, cols, labels, memory_limit=16 * 1024)
+        assert unlimited.tree.to_dict() == tight.tree.to_dict()
+
+    def test_leaf_counts_partition_training_set(self, data):
+        cols, labels = data
+        res = fit(4, cols, labels)
+        leaves = [n for n in res.tree.iter_nodes() if n.is_leaf]
+        assert sum(n.n for n in leaves) == len(labels)
+        total = sum(n.class_counts for n in leaves)
+        np.testing.assert_array_equal(total, np.bincount(labels, minlength=2))
+
+    def test_deterministic_given_seeds(self, data):
+        cols, labels = data
+        a = fit(4, cols, labels, seed=5)
+        b = fit(4, cols, labels, seed=5)
+        assert a.tree.to_dict() == b.tree.to_dict()
+        assert a.elapsed == pytest.approx(b.elapsed)
+
+    def test_generalizes_to_holdout(self):
+        cols, labels = generate_quest(6000, function=2, seed=17, noise=0.0)
+        res = fit(4, {k: v[:4500] for k, v in cols.items()}, labels[:4500])
+        acc = accuracy(labels[4500:], res.tree.predict({k: v[4500:] for k, v in cols.items()}))
+        assert acc > 0.93
+
+
+class TestMixedParallelism:
+    def test_small_tasks_appear_below_switch(self, data):
+        cols, labels = data
+        res = fit(4, cols, labels, q_switch=20)
+        assert res.n_small_tasks > 0
+        assert res.n_large_nodes > 0
+
+    def test_higher_switch_defers_earlier(self, data):
+        cols, labels = data
+        low = fit(2, cols, labels, q_switch=5)
+        high = fit(2, cols, labels, q_switch=40)
+        # a higher threshold switches higher in the tree: fewer large
+        # nodes remain (the deferred subtrees are bigger but fewer)
+        assert high.n_large_nodes < low.n_large_nodes
+        # the switch threshold must not change the classifier
+        assert low.tree.to_dict() == high.tree.to_dict()
+
+    def test_all_small_after_root(self, data):
+        """q_switch above q_root: the root itself defers — degenerate but
+        legal; everything is built by delayed task parallelism."""
+        cols, labels = data
+        res = fit(3, cols, labels, q_root=30, q_switch=1000)
+        assert res.n_large_nodes == 0
+        assert res.n_small_tasks == 1
+        validate_tree(res.tree)
+        assert accuracy(labels, res.tree.predict(cols)) > 0.9
+
+    def test_survival_ratio_recorded_per_large_node(self, data):
+        cols, labels = data
+        res = fit(2, cols, labels)
+        assert len(res.survival_ratios) == res.n_large_nodes
+        # summed over attributes, so bounded by the numeric attribute count
+        assert all(0.0 <= r <= 6.0 for r in res.survival_ratios)
+
+    def test_phase_times_cover_the_run(self, data):
+        cols, labels = data
+        res = fit(4, cols, labels)
+        phases = res.phases
+        for key in ("preprocess", "stats", "partition", "small_nodes"):
+            assert key in phases
+        assert sum(phases.values()) <= res.elapsed * len(res.run.phase_times) + 1e-6
+
+
+class TestScalingBehaviour:
+    def test_more_processors_run_faster(self, data):
+        # under the paper-regime cost models (per-record costs scaled so
+        # bandwidth dominates latency), p=4 must show a clear speedup
+        cols, labels = data
+        t1 = fit(1, cols, labels, memory_limit=32 * 1024, scaled=True).elapsed
+        t4 = fit(4, cols, labels, memory_limit=32 * 1024, scaled=True).elapsed
+        assert t4 < t1
+        assert t1 / t4 > 2.0
+
+    def test_io_volume_balanced_across_ranks(self, data):
+        cols, labels = data
+        res = fit(4, cols, labels, memory_limit=32 * 1024)
+        reads = [s.bytes_read for s in res.run.stats.per_rank]
+        assert max(reads) / max(min(reads), 1) < 1.3  # Lemma 2 balance
+
+    def test_attribute_exchange_avoids_redundant_sweeps(self, data):
+        """The attribute-based approach runs the prefix-sum + gini sweep
+        and the alive estimation once per attribute (at its owner) instead
+        of replicating that work on every processor."""
+        cols, labels = data
+        a = fit(4, cols, labels, exchange="attribute")
+        b = fit(4, cols, labels, exchange="allreduce")
+        assert (
+            a.run.stats.total.compute_time < b.run.stats.total.compute_time
+        )
+
+    def test_elapsed_counts_only_fit(self, data):
+        cols, labels = data
+        res = fit(2, cols, labels)
+        # distribution happens at time zero; fit elapsed is positive and
+        # bounded by total busy+idle time
+        assert 0 < res.elapsed < 1e4
+
+
+class TestEdgeCases:
+    def test_tiny_dataset(self):
+        cols, labels = generate_quest(40, function=1, seed=3)
+        res = fit(4, cols, labels, q_root=4, sample_size=20, min_node=4)
+        validate_tree(res.tree)
+
+    def test_single_class_degenerates_to_leaf(self):
+        cols, _ = generate_quest(500, seed=9)
+        labels = np.zeros(500, dtype=np.int32)
+        res = fit(2, cols, labels)
+        assert res.tree.root.is_leaf
+
+    def test_more_ranks_than_attributes(self, data):
+        cols, labels = data
+        res = fit(12, cols, labels, q_root=40)
+        validate_tree(res.tree)
+
+    def test_max_depth_enforced(self, data):
+        cols, labels = data
+        schema = quest_schema()
+        cluster = make_cluster(2)
+        ds = DistributedDataset.create(cluster, schema, cols, labels, seed=1)
+        cfg = PCloudsConfig(
+            clouds=CloudsConfig(q_root=60, sample_size=400, max_depth=4)
+        )
+        res = PClouds(cfg).fit(ds)
+        assert res.tree.depth <= 4
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PCloudsConfig(q_switch=0)
+        with pytest.raises(ValueError):
+            PCloudsConfig(exchange="quantum")

@@ -1,0 +1,70 @@
+"""Seed robustness: pCLOUDS must produce valid, accurate trees for any
+seeding of the generator, the distribution and the sampling — and its
+invariants must hold across all of them."""
+
+import numpy as np
+import pytest
+
+from repro.clouds import CloudsConfig, accuracy, validate_tree
+from repro.core import DistributedDataset, PClouds, PCloudsConfig
+from repro.data import generate_quest, quest_schema
+
+from conftest import make_cluster
+
+
+@pytest.mark.parametrize("seed", [0, 17, 101, 4242])
+def test_any_seed_builds_valid_accurate_tree(seed):
+    schema = quest_schema()
+    cols, labels = generate_quest(
+        1500, function=1 + seed % 7, seed=seed, noise=0.03
+    )
+    cluster = make_cluster(3, seed=seed)
+    ds = DistributedDataset.create(cluster, schema, cols, labels, seed=seed + 1)
+    res = PClouds(
+        PCloudsConfig(
+            clouds=CloudsConfig(q_root=40, sample_size=300, min_node=16)
+        )
+    ).fit(ds, seed=seed + 2)
+    validate_tree(res.tree)
+    leaves = [n for n in res.tree.iter_nodes() if n.is_leaf]
+    assert sum(n.n for n in leaves) == len(labels)
+    assert accuracy(labels, res.tree.predict(cols)) > 0.8
+
+
+def test_different_sample_seeds_give_different_but_close_trees():
+    """The pre-drawn sample is the only stochastic ingredient; different
+    sampling seeds may move interval boundaries, but quality holds."""
+    schema = quest_schema()
+    cols, labels = generate_quest(3000, function=2, seed=5, noise=0.03)
+    accs = []
+    for fit_seed in (1, 2, 3):
+        cluster = make_cluster(2, seed=0)
+        ds = DistributedDataset.create(cluster, schema, cols, labels, seed=9)
+        res = PClouds(
+            PCloudsConfig(clouds=CloudsConfig(q_root=50, sample_size=400,
+                                              min_node=16))
+        ).fit(ds, seed=fit_seed)
+        accs.append(accuracy(labels, res.tree.predict(cols)))
+    assert max(accs) - min(accs) < 0.05
+    assert min(accs) > 0.85
+
+
+def test_distribution_seed_changes_fragments_not_results_quality():
+    schema = quest_schema()
+    cols, labels = generate_quest(2000, function=2, seed=6, noise=0.02)
+    trees = []
+    for dist_seed in (11, 22):
+        cluster = make_cluster(4, seed=0)
+        ds = DistributedDataset.create(
+            cluster, schema, cols, labels, seed=dist_seed
+        )
+        res = PClouds(
+            PCloudsConfig(clouds=CloudsConfig(q_root=40, sample_size=300,
+                                              min_node=16))
+        ).fit(ds, seed=7)
+        trees.append(res.tree)
+    # fragments differ, so the replicated sample differs; boundary splits
+    # may shift, but both trees classify equally well
+    a = accuracy(labels, trees[0].predict(cols))
+    b = accuracy(labels, trees[1].predict(cols))
+    assert abs(a - b) < 0.05

@@ -1,0 +1,122 @@
+"""Property-based tests of the communicator: random collective programs
+must satisfy MPI semantics and keep clocks consistent on any machine
+size."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+
+
+def run(p, prog, *args):
+    return Cluster(p, seed=0, timeout=60.0).run(prog, *args)
+
+
+@given(st.integers(1, 6), st.lists(st.integers(-100, 100), min_size=1, max_size=8))
+@settings(max_examples=25, deadline=None)
+def test_allreduce_sum_is_global_sum(p, values):
+    def prog(ctx):
+        mine = values[ctx.rank % len(values)]
+        return ctx.comm.allreduce(mine)
+
+    expect = sum(values[r % len(values)] for r in range(p))
+    assert run(p, prog).results == [expect] * p
+
+
+@given(st.integers(1, 6), st.integers(0, 5))
+@settings(max_examples=25, deadline=None)
+def test_scan_prefixes_are_consistent(p, offset):
+    def prog(ctx):
+        return ctx.comm.scan(ctx.rank + offset)
+
+    out = run(p, prog).results
+    acc = 0
+    for r in range(p):
+        acc += r + offset
+        assert out[r] == acc
+
+
+@given(st.integers(1, 6), st.data())
+@settings(max_examples=25, deadline=None)
+def test_alltoall_is_a_transpose(p, data):
+    matrix = [
+        [data.draw(st.integers(0, 1000)) for _ in range(p)] for _ in range(p)
+    ]
+
+    def prog(ctx):
+        return ctx.comm.alltoall(matrix[ctx.rank])
+
+    out = run(p, prog).results
+    for dst in range(p):
+        assert out[dst] == [matrix[src][dst] for src in range(p)]
+
+
+@given(st.integers(1, 6), st.integers(0, 5))
+@settings(max_examples=20, deadline=None)
+def test_bcast_from_any_root(p, root_seed):
+    root = root_seed % p
+
+    def prog(ctx):
+        return ctx.comm.bcast(("payload", ctx.rank) if ctx.rank == root else None,
+                              root=root)
+
+    assert run(p, prog).results == [("payload", root)] * p
+
+
+@given(st.integers(2, 6), st.lists(st.floats(0, 100, width=16), min_size=6, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_minloc_agrees_with_python_min(p, vals):
+    def prog(ctx):
+        v = vals[ctx.rank % len(vals)]
+        return ctx.comm.allreduce_minloc(v, payload=ctx.rank)
+
+    out = run(p, prog).results
+    per_rank = [vals[r % len(vals)] for r in range(p)]
+    best = min(range(p), key=lambda r: (per_rank[r], r))
+    assert all(o == (per_rank[best], best, best) for o in out)
+
+
+@given(st.integers(1, 6))
+@settings(max_examples=15, deadline=None)
+def test_scatter_inverts_gather(p):
+    def prog(ctx):
+        parts = [f"to-{d}" for d in range(ctx.size)] if ctx.rank == 0 else None
+        mine = ctx.comm.scatter(parts, root=0)
+        back = ctx.comm.gather(mine, root=0)
+        return mine, back
+
+    out = run(p, prog).results
+    assert [o[0] for o in out] == [f"to-{r}" for r in range(p)]
+    assert out[0][1] == [f"to-{r}" for r in range(p)]
+
+
+@given(st.integers(2, 6), st.integers(0, 3))
+@settings(max_examples=20, deadline=None)
+def test_clocks_never_regress_through_collectives(p, rounds):
+    def prog(ctx):
+        stamps = [ctx.clock.now]
+        for i in range(rounds + 1):
+            ctx.charge_compute(ops=1000 * (ctx.rank + i))
+            ctx.comm.allreduce(np.int64(1))
+            stamps.append(ctx.clock.now)
+        return stamps
+
+    for stamps in run(p, prog).results:
+        assert all(b >= a for a, b in zip(stamps, stamps[1:]))
+
+
+@given(st.integers(2, 6))
+@settings(max_examples=15, deadline=None)
+def test_collective_exit_times_agree(p):
+    """All participants leave a collective at the same simulated time —
+    the property the elapsed-time measurements rest on."""
+
+    def prog(ctx):
+        ctx.charge_compute(ops=12345 * (ctx.rank + 1))
+        ctx.comm.barrier()
+        return ctx.clock.now
+
+    out = run(p, prog).results
+    assert len(set(out)) == 1

@@ -1,0 +1,82 @@
+"""Property test: every statistics-exchange method must elect the same
+splitter and the same alive set as the sequential computation, for any
+random data, any fragmentation and any machine size."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clouds import CloudsConfig
+from repro.clouds.builder import node_boundaries
+from repro.clouds.intervals import class_counts
+from repro.clouds.nodestats import stats_from_arrays
+from repro.clouds.ss import find_split_ss
+from repro.clouds.sse import determine_alive_intervals
+from repro.core.config import PCloudsConfig
+from repro.core.stats_exchange import exchange_node_stats
+from repro.data import make_schema
+
+from conftest import make_cluster
+
+SCHEMA = make_schema(["x", "y"], {"c": 3}, n_classes=2)
+
+
+def _random_fragments(rng, n, p):
+    cols = {
+        "x": rng.normal(size=n),
+        "y": np.round(rng.random(n) * 10) / 2.0,  # heavy duplicates
+        "c": rng.integers(0, 3, n).astype(np.int32),
+    }
+    labels = ((cols["x"] + rng.normal(0, 0.7, n)) > 0).astype(np.int32)
+    owner = rng.integers(0, p, n)
+    frags = [
+        ({k: v[owner == r] for k, v in cols.items()}, labels[owner == r])
+        for r in range(p)
+    ]
+    return cols, labels, frags
+
+
+@given(
+    st.integers(1, 4),
+    st.integers(40, 300),
+    st.integers(3, 20),
+    st.integers(0, 10_000),
+    st.sampled_from(["attribute", "distributed", "allreduce"]),
+)
+@settings(max_examples=15, deadline=None)
+def test_exchange_equals_sequential(p, n, q, seed, exchange):
+    rng = np.random.default_rng(seed)
+    cols, labels, frags = _random_fragments(rng, n, p)
+    bounds = node_boundaries(SCHEMA, cols, q)
+    total = class_counts(labels, 2)
+
+    seq_stats = stats_from_arrays(SCHEMA, cols, labels, bounds)
+    seq_split = find_split_ss(seq_stats, SCHEMA)
+    config = PCloudsConfig(
+        clouds=CloudsConfig(method="sse", q_root=max(q, 2)), exchange=exchange
+    )
+
+    def prog(ctx):
+        fcols, flabels = frags[ctx.rank]
+        local = stats_from_arrays(SCHEMA, fcols, flabels, bounds)
+        split, alive = exchange_node_stats(ctx, SCHEMA, local, total, config)
+        key = None
+        if split is not None:
+            key = (split.attribute, split.kind, round(split.gini, 12))
+        return key, [(iv.attribute, iv.index, iv.count) for iv in alive]
+
+    results = make_cluster(p).run(prog).results
+    if seq_split is None:
+        assert all(r[0] is None for r in results)
+        return
+    seq_alive = determine_alive_intervals(seq_stats, SCHEMA, seq_split.gini)
+    expect_key = (
+        seq_split.attribute, seq_split.kind, round(seq_split.gini, 12)
+    )
+    expect_alive = sorted(
+        (iv.attribute, iv.index, iv.count) for iv in seq_alive
+    )
+    for key, alive in results:
+        assert key == expect_key
+        assert alive == expect_alive

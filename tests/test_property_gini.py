@@ -1,0 +1,138 @@
+"""Property-based tests of the gini machinery (the invariants SS/SSE
+correctness rests on)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.clouds.gini import (
+    best_categorical_split,
+    best_numeric_split_exact,
+    gini_from_counts,
+    gini_lower_bound,
+    weighted_gini,
+)
+
+counts_vectors = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(2, 6),
+    elements=st.integers(0, 50),
+)
+
+
+@given(counts_vectors)
+def test_gini_in_unit_range(counts):
+    g = gini_from_counts(counts)
+    assert 0.0 <= g <= 1.0
+
+
+@given(counts_vectors)
+def test_gini_bounded_by_uniform(counts):
+    k = len(counts)
+    assert gini_from_counts(counts) <= 1.0 - 1.0 / k + 1e-12
+
+
+@given(counts_vectors)
+def test_gini_invariant_under_permutation(counts):
+    g1 = gini_from_counts(counts)
+    g2 = gini_from_counts(counts[::-1])
+    assert g1 == pytest.approx(g2)
+
+
+@given(counts_vectors)
+def test_gini_invariant_under_scaling(counts):
+    g1 = gini_from_counts(counts)
+    g2 = gini_from_counts(counts * 7)
+    assert g1 == pytest.approx(g2)
+
+
+@given(counts_vectors, counts_vectors.map(lambda a: a))
+def test_weighted_gini_never_exceeds_parent(left, right):
+    """Splitting never increases gini (concavity of the impurity)."""
+    if len(left) != len(right):
+        right = np.resize(right, len(left))
+    parent = gini_from_counts(left + right)
+    assert weighted_gini(left, right) <= parent + 1e-9
+
+
+@given(
+    st.integers(2, 200).flatmap(
+        lambda n: st.tuples(
+            hnp.arrays(np.float64, n, elements=st.floats(-100, 100, width=32)),
+            hnp.arrays(np.int64, n, elements=st.integers(0, 2)),
+        )
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_best_numeric_split_leaves_both_sides_nonempty(arrs):
+    values, labels = arrs
+    res = best_numeric_split_exact(values, labels, 3)
+    if res is None:
+        assert len(np.unique(values)) < 2
+        return
+    g, thr = res
+    mask = values <= thr
+    assert 0 < mask.sum() < len(values)
+    assert 0.0 <= g <= 1.0 - 1.0 / 3 + 1e-9
+
+
+@given(
+    hnp.arrays(np.int64, st.tuples(st.integers(2, 8), st.just(2)),
+               elements=st.integers(0, 30))
+)
+@settings(max_examples=60)
+def test_categorical_split_valid_or_none(counts):
+    res = best_categorical_split(counts)
+    present = counts.sum(axis=1) > 0
+    if present.sum() < 2:
+        assert res is None
+        return
+    assert res is not None
+    g, left = res
+    left_counts = counts[sorted(left)].sum(axis=0)
+    assert 0 < left_counts.sum() < counts.sum()
+    assert g == pytest.approx(
+        float(weighted_gini(left_counts, counts.sum(axis=0) - left_counts))
+    )
+
+
+@given(
+    st.integers(2, 4).flatmap(
+        lambda c: st.tuples(
+            hnp.arrays(np.int64, c, elements=st.integers(0, 12)),
+            hnp.arrays(np.int64, st.integers(1, 10), elements=st.integers(0, c - 1)),
+            hnp.arrays(np.int64, c, elements=st.integers(0, 12)),
+        )
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_lower_bound_is_sound(parts):
+    """gini_est must lower-bound the gini of every realisable split inside
+    the interval — the property that makes SSE safe."""
+    left, inside_labels, right = parts
+    c = len(left)
+    inside = np.bincount(inside_labels, minlength=c)
+    total = left + inside + right
+    if total.sum() == 0:
+        return
+    bound = gini_lower_bound(
+        left.astype(float), inside.astype(float), total.astype(float)
+    )
+    # walk one realisable ordering of the interval's points
+    cum = left.astype(float)
+    for lab in inside_labels:
+        cum = cum + np.eye(c)[lab]
+        g = float(weighted_gini(cum, total - cum))
+        assert bound <= g + 1e-9
+
+
+@given(counts_vectors)
+def test_lower_bound_with_empty_interval_is_exact(total_half):
+    total = total_half + total_half[::-1] + 1
+    left = total_half
+    bound = gini_lower_bound(
+        left.astype(float), np.zeros_like(left, dtype=float), total.astype(float)
+    )
+    assert bound == pytest.approx(float(weighted_gini(left, total - left)))

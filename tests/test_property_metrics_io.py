@@ -1,0 +1,79 @@
+"""Property tests for metrics and CSV I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.clouds.metrics import accuracy, confusion_matrix, error_rate
+from repro.data import make_schema, read_csv, write_csv
+
+
+labels_pairs = st.integers(10, 200).flatmap(
+    lambda n: st.tuples(
+        hnp.arrays(np.int64, n, elements=st.integers(0, 3)),
+        hnp.arrays(np.int64, n, elements=st.integers(0, 3)),
+    )
+)
+
+
+@given(labels_pairs)
+def test_accuracy_error_complement(pair):
+    y, p = pair
+    assert accuracy(y, p) + error_rate(y, p) == pytest.approx(1.0)
+
+
+@given(labels_pairs)
+def test_confusion_diagonal_is_accuracy(pair):
+    y, p = pair
+    m = confusion_matrix(y, p, 4)
+    assert m.sum() == len(y)
+    assert np.trace(m) / len(y) == pytest.approx(accuracy(y, p))
+
+
+@given(labels_pairs)
+def test_confusion_row_sums_are_class_counts(pair):
+    y, p = pair
+    m = confusion_matrix(y, p, 4)
+    np.testing.assert_array_equal(m.sum(axis=1), np.bincount(y, minlength=4))
+    np.testing.assert_array_equal(m.sum(axis=0), np.bincount(p, minlength=4))
+
+
+@given(
+    st.integers(2, 50).flatmap(
+        lambda n: st.tuples(
+            hnp.arrays(
+                np.float64, n,
+                elements=st.floats(-1e6, 1e6, width=32).filter(
+                    lambda x: x == x  # no NaN
+                ),
+            ),
+            hnp.arrays(np.int64, n, elements=st.integers(0, 2)),
+            hnp.arrays(np.int64, n, elements=st.integers(0, 1)),
+        )
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_csv_roundtrip_any_data(tmp_path_factory, arrs):
+    values, codes, labels = arrs
+    if len(np.unique(labels)) < 2:
+        labels = labels.copy()
+        labels[0] = 1 - labels[0]
+    schema = make_schema(["v"], {"k": 3}, n_classes=2)
+    cols = {"v": values, "k": codes.astype(np.int32)}
+    path = str(tmp_path_factory.mktemp("csv") / "d.csv")
+    write_csv(path, schema, cols, labels.astype(np.int32))
+    schema2, cols2, labels2, codec = read_csv(
+        path, label_column="label", categorical_columns={"k"}
+    )
+    # float repr() roundtrips float64 exactly
+    np.testing.assert_array_equal(cols2["v"], values)
+    # codes survive through the first-appearance mapping
+    decoded = np.array(
+        [int(list(codec.categorical["k"].keys())[c]) for c in cols2["k"]]
+    )
+    np.testing.assert_array_equal(decoded, codes)
+    # labels decode back to the originals
+    orig = np.array([int(v) for v in codec.decode_labels(labels2)])
+    np.testing.assert_array_equal(orig, labels)

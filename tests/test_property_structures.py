@@ -1,0 +1,138 @@
+"""Property-based tests on intervals, trees, LPT assignment, and the
+out-of-core files."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster.clock import SimClock
+from repro.cluster.diskmodel import DiskModel
+from repro.cluster.stats import RankStats
+from repro.clouds.direct import StoppingRule, fit_direct
+from repro.clouds.intervals import (
+    boundaries_from_sample,
+    interval_histogram,
+    interval_index,
+)
+from repro.clouds.tree import validate_tree
+from repro.core.alive import assign_by_cost
+from repro.data import make_schema
+from repro.ooc import InMemoryBackend, LocalDisk, OocArray
+
+
+def fresh_disk():
+    return LocalDisk(DiskModel(), SimClock(), RankStats(), InMemoryBackend())
+
+
+@given(
+    hnp.arrays(np.float64, st.integers(1, 300),
+               elements=st.floats(-1e6, 1e6, width=32)),
+    st.integers(1, 64),
+)
+def test_boundaries_sorted_unique_within_range(sample, q):
+    b = boundaries_from_sample(sample, q)
+    assert len(b) <= q - 1 if q > 1 else len(b) == 0
+    assert (np.diff(b) > 0).all()
+    if len(b):
+        assert b.min() >= sample.min() and b.max() <= sample.max()
+
+
+@given(
+    hnp.arrays(np.float64, st.integers(0, 200), elements=st.floats(-100, 100, width=16)),
+    hnp.arrays(np.float64, st.integers(0, 6), elements=st.floats(-100, 100, width=16)),
+)
+def test_interval_index_within_bounds(values, raw_bounds):
+    b = np.unique(raw_bounds)
+    idx = interval_index(values, b)
+    if len(values):
+        assert idx.min() >= 0 and idx.max() <= len(b)
+
+
+@given(
+    st.integers(1, 150).flatmap(
+        lambda n: st.tuples(
+            hnp.arrays(np.float64, n, elements=st.floats(0, 10, width=16)),
+            hnp.arrays(np.int64, n, elements=st.integers(0, 2)),
+        )
+    ),
+    st.integers(2, 16),
+)
+def test_histogram_conserves_mass(arrs, q):
+    values, labels = arrs
+    b = boundaries_from_sample(values, q)
+    h = interval_histogram(values, labels, b, 3)
+    assert h.sum() == len(values)
+    np.testing.assert_array_equal(
+        h.sum(axis=0), np.bincount(labels, minlength=3)
+    )
+
+
+@given(
+    st.lists(st.floats(0.01, 100.0), min_size=0, max_size=50),
+    st.integers(1, 8),
+)
+def test_lpt_assignment_properties(costs, p):
+    owners = assign_by_cost(costs, p)
+    assert len(owners) == len(costs)
+    assert all(0 <= o < p for o in owners)
+    if costs:
+        loads = [0.0] * p
+        for c, o in zip(costs, owners):
+            loads[o] += c
+        # classic LPT bound: max load <= mean + max item
+        assert max(loads) <= sum(costs) / p + max(costs) + 1e-9
+
+
+@given(st.lists(
+    hnp.arrays(np.float64, st.integers(0, 40), elements=st.floats(-1, 1, width=16)),
+    min_size=0, max_size=10,
+))
+def test_ooc_array_is_a_faithful_sequence(chunks):
+    f = OocArray(fresh_disk(), np.float64)
+    expect = []
+    for c in chunks:
+        f.append(c)
+        expect.append(c)
+    whole = np.concatenate(expect) if expect else np.empty(0)
+    np.testing.assert_array_equal(f.read_all(), whole)
+    assert len(f) == len(whole)
+    streamed = list(f.iter_chunks())
+    if streamed:
+        np.testing.assert_array_equal(np.concatenate(streamed), whole)
+
+
+@given(
+    st.integers(20, 300),
+    st.integers(2, 4),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_direct_tree_invariants_hold_for_random_data(n, n_classes, seed):
+    rng = np.random.default_rng(seed)
+    schema = make_schema(["x", "y"], {"c": 4}, n_classes=n_classes)
+    cols = {
+        "x": rng.normal(size=n),
+        "y": rng.choice(5, n).astype(float),
+        "c": rng.integers(0, 4, n).astype(np.int32),
+    }
+    labels = rng.integers(0, n_classes, n).astype(np.int32)
+    tree = fit_direct(schema, cols, labels, StoppingRule(min_node=5))
+    validate_tree(tree)
+    leaves = [node for node in tree.iter_nodes() if node.is_leaf]
+    assert sum(node.n for node in leaves) == n
+    preds = tree.predict(cols)
+    assert preds.shape == (n,)
+    assert preds.min() >= 0 and preds.max() < n_classes
+
+
+@given(st.integers(0, 2**31), st.integers(1, 10))
+@settings(max_examples=25, deadline=None)
+def test_quest_generator_total_order_free(seed, function):
+    """Any seed/function combination yields schema-conforming data."""
+    from repro.data import generate_quest, quest_schema
+
+    cols, labels = generate_quest(64, function=function, seed=seed)
+    schema = quest_schema()
+    assert schema.validate_columns(cols, labels) == 64

@@ -1,0 +1,147 @@
+"""Property-based tests on trees, pruning and serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clouds import (
+    DecisionTree,
+    MdlPruneConfig,
+    Split,
+    StoppingRule,
+    TreeNode,
+    fit_direct,
+    gini_importance,
+    mdl_prune,
+    validate_tree,
+)
+from repro.data import make_schema
+
+SCHEMA = make_schema(["x", "y"], {"c": 3}, n_classes=2)
+
+
+@st.composite
+def random_trees(draw, max_depth=4):
+    """Random valid decision trees over SCHEMA, built top-down with
+    consistent class counts."""
+
+    counter = [0]
+
+    def node(depth, counts):
+        nid = counter[0]
+        counter[0] += 1
+        t = TreeNode(node_id=nid, depth=depth, class_counts=np.asarray(counts))
+        n = int(np.sum(counts))
+        if depth >= max_depth or n < 2 or draw(st.booleans()):
+            return t
+        left0 = draw(st.integers(0, int(counts[0])))
+        left1 = draw(st.integers(0, int(counts[1])))
+        if (left0 + left1) in (0, n):
+            return t
+        kind = draw(st.sampled_from(["numeric", "categorical"]))
+        if kind == "numeric":
+            t.split = Split(
+                attribute=draw(st.sampled_from(["x", "y"])),
+                kind="numeric",
+                gini=draw(st.floats(0, 0.5)),
+                threshold=draw(st.floats(-100, 100, width=16)),
+            )
+        else:
+            codes = draw(
+                st.sets(st.integers(0, 2), min_size=1, max_size=2)
+            )
+            t.split = Split(
+                attribute="c",
+                kind="categorical",
+                gini=draw(st.floats(0, 0.5)),
+                left_codes=frozenset(codes),
+            )
+        t.left = node(depth + 1, [left0, left1])
+        t.right = node(depth + 1, [counts[0] - left0, counts[1] - left1])
+        return t
+
+    total = [draw(st.integers(1, 40)), draw(st.integers(1, 40))]
+    return DecisionTree(root=node(0, total), schema=SCHEMA)
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_random_trees_are_valid(tree):
+    validate_tree(tree)
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_serialisation_roundtrip_preserves_structure(tree):
+    clone = DecisionTree.from_dict(tree.to_dict(), SCHEMA)
+    validate_tree(clone)
+    assert clone.n_nodes == tree.n_nodes
+    assert clone.to_dict() == tree.to_dict()
+
+
+@given(random_trees(), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_predictions(tree, seed):
+    rng = np.random.default_rng(seed)
+    cols = {
+        "x": rng.normal(size=20) * 100,
+        "y": rng.normal(size=20) * 100,
+        "c": rng.integers(0, 3, 20).astype(np.int32),
+    }
+    clone = DecisionTree.from_dict(tree.to_dict(), SCHEMA)
+    np.testing.assert_array_equal(tree.predict(cols), clone.predict(cols))
+
+
+@given(random_trees(), st.floats(0.1, 10.0))
+@settings(max_examples=50, deadline=None)
+def test_mdl_pruning_properties(tree, bits):
+    """Pruning never grows the tree, preserves validity, and is
+    idempotent."""
+    n0 = tree.n_nodes
+    cfg = MdlPruneConfig(structure_bits=bits)
+    _, removed1 = mdl_prune(tree, cfg)
+    assert removed1 >= 0
+    assert tree.n_nodes == n0 - removed1
+    validate_tree(tree)
+    _, removed2 = mdl_prune(tree, cfg)
+    assert removed2 == 0  # idempotent
+
+
+@given(random_trees())
+@settings(max_examples=40, deadline=None)
+def test_importance_well_formed(tree):
+    imp = gini_importance(tree)
+    assert set(imp) == {"x", "y", "c"}
+    assert all(v >= 0 for v in imp.values())
+    total = sum(imp.values())
+    assert total == pytest.approx(1.0) or total == 0.0
+
+
+@given(
+    st.integers(30, 200),
+    st.integers(0, 1000),
+    st.floats(0.0, 0.3),
+)
+@settings(max_examples=20, deadline=None)
+def test_fitted_trees_partition_any_dataset(n, seed, noise):
+    """End-to-end property: for any random dataset, the fitted tree's
+    leaves partition the records and predictions are consistent with the
+    routing."""
+    rng = np.random.default_rng(seed)
+    cols = {
+        "x": rng.normal(size=n),
+        "y": rng.random(n),
+        "c": rng.integers(0, 3, n).astype(np.int32),
+    }
+    labels = ((cols["x"] > 0) ^ (rng.random(n) < noise)).astype(np.int32)
+    tree = fit_direct(SCHEMA, cols, labels, StoppingRule(min_node=5))
+    validate_tree(tree)
+    leaves = [node for node in tree.iter_nodes() if node.is_leaf]
+    assert sum(node.n for node in leaves) == n
+    preds = tree.predict(cols)
+    # routing property: applying the root split manually agrees
+    if not tree.root.is_leaf:
+        mask = tree.root.split.goes_left(cols[tree.root.split.attribute])
+        left_preds = tree.predict({k: v[mask] for k, v in cols.items()})
+        np.testing.assert_array_equal(preds[mask], left_preds)

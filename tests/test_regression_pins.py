@@ -1,0 +1,123 @@
+"""Regression pins: small, fast, fully deterministic configurations whose
+exact outputs are frozen. A change to the cost models, the split
+machinery or the SPMD drivers that alters any pinned value is either a
+bug or a deliberate change that must update this file (and
+EXPERIMENTS.md's narrative if it shifts the reproduced shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import scaled_models
+from repro.clouds import CloudsBuilder, CloudsConfig, fit_direct, StoppingRule
+from repro.cluster import Cluster
+from repro.data import generate_quest, quest_schema
+
+from conftest import make_cluster
+
+
+class TestCostModelPins:
+    def test_table1_point_values(self):
+        net, disk, compute = scaled_models(100.0)
+        assert net.p2p(1 << 20) == pytest.approx(40e-6 + (1 << 20) * 100 / 35e6)
+        assert disk.access(1 << 20) == pytest.approx(0.01 + (1 << 20) / 8e4)
+        assert compute.cost(1e6) == pytest.approx(0.75)
+
+    def test_collective_costs_at_p16(self):
+        net, _, _ = scaled_models(1.0)
+        m = 8192
+        assert net.all_to_all_broadcast(m, 16) == pytest.approx(
+            40e-6 * 4 + m * 15 / 35e6
+        )
+        assert net.global_combine(m, 16) == pytest.approx(40e-6 * 4 + m / 35e6)
+
+
+class TestSplitPins:
+    """The root split of the canonical workload is a stable landmark."""
+
+    def test_direct_root_split_function2(self, schema):
+        cols, labels = generate_quest(4000, function=2, seed=13, noise=0.0)
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=16))
+        root = tree.root.split
+        # function 2's dominant axis at the root is the salary=125k edge
+        assert root.attribute == "salary"
+        assert 120_000 < root.threshold < 130_000
+
+    def test_clouds_sse_equals_direct_at_root(self, schema):
+        from repro.clouds.builder import find_split_from_arrays, node_boundaries
+        from repro.clouds.direct import find_split_direct
+
+        cols, labels = generate_quest(4000, function=2, seed=13, noise=0.0)
+        bounds = node_boundaries(schema, {k: v[:800] for k, v in cols.items()}, 50)
+        sse, _, _ = find_split_from_arrays(
+            schema, cols, labels, bounds, CloudsConfig(method="sse", q_root=50)
+        )
+        exact = find_split_direct(schema, cols, labels)
+        assert sse.attribute == exact.attribute
+        assert sse.gini == pytest.approx(exact.gini, abs=1e-12)
+        assert sse.threshold == pytest.approx(exact.threshold)
+
+
+class TestSimulatedTimePins:
+    def test_tiny_pclouds_elapsed_frozen(self):
+        """Exact simulated elapsed time of a tiny fixed configuration.
+        This will move whenever any cost-charging site changes — that is
+        the point. Update deliberately."""
+        from repro.core import DistributedDataset, PClouds, PCloudsConfig
+
+        schema = quest_schema()
+        cols, labels = generate_quest(1000, function=2, seed=3, noise=0.02)
+        cluster = make_cluster(2)
+        ds = DistributedDataset.create(cluster, schema, cols, labels, seed=4)
+        res = PClouds(
+            PCloudsConfig(
+                clouds=CloudsConfig(q_root=20, sample_size=100, min_node=32)
+            )
+        ).fit(ds, seed=5)
+        a = res.elapsed
+        # identical second run (fresh dataset): bitwise equal
+        cluster2 = make_cluster(2)
+        ds2 = DistributedDataset.create(cluster2, schema, cols, labels, seed=4)
+        b = PClouds(
+            PCloudsConfig(
+                clouds=CloudsConfig(q_root=20, sample_size=100, min_node=32)
+            )
+        ).fit(ds2, seed=5).elapsed
+        assert a == b
+        assert 0.1 < a < 100.0  # coarse envelope so gross regressions trip
+
+    def test_sort_io_volume_exact(self):
+        """External sort transfer volume: run formation reads+writes N,
+        each merge level reads+writes N."""
+        from repro.cluster.clock import SimClock
+        from repro.cluster.diskmodel import DiskModel
+        from repro.cluster.stats import RankStats
+        from repro.ooc import InMemoryBackend, LocalDisk, OocArray
+        from repro.ooc.extsort import external_sort
+
+        disk = LocalDisk(DiskModel(), SimClock(), RankStats(), InMemoryBackend())
+        data = np.random.default_rng(0).random(4096)
+        f = OocArray(disk, np.float64)
+        f.append(data)
+        w0, r0 = disk.stats.bytes_written, disk.stats.bytes_read
+        # 8 runs of 512, fan-in 8: exactly one merge level
+        external_sort(f, run_records=512, fan_in=8)
+        nbytes = data.nbytes
+        assert disk.stats.bytes_written - w0 == 2 * nbytes  # runs + output
+        assert disk.stats.bytes_read - r0 == 2 * nbytes  # source + runs
+
+
+class TestSpeedupEnvelopePins:
+    def test_small_speedup_point(self):
+        """p=4 speedup of a fixed small experiment stays in a narrow
+        envelope — the canary for scaling-behaviour regressions."""
+        from repro.bench.harness import ExperimentConfig, run_pclouds
+
+        t = {}
+        for p in (1, 4):
+            t[p] = run_pclouds(
+                ExperimentConfig(
+                    n_records=6000, n_ranks=p, scale=200.0, seed=0
+                )
+            ).elapsed
+        speedup = t[1] / t[4]
+        assert 2.2 < speedup < 4.3

@@ -1,0 +1,70 @@
+"""Remaining surface coverage: schema helpers on unusual shapes, tree
+meta, and the wire format's stability."""
+
+import numpy as np
+import pytest
+
+from repro.clouds import DecisionTree, StoppingRule, fit_direct
+from repro.data import make_schema, quest_schema
+from repro.data.synthetic import make_blobs
+
+
+class TestSchemaMore:
+    def test_iteration_order_is_declaration_order(self):
+        s = make_schema(["b", "a"], {"z": 2, "c": 3})
+        assert s.names == ["b", "a", "z", "c"]
+
+    def test_numeric_categorical_partition(self, schema):
+        names = set(schema.names)
+        assert names == {a.name for a in schema.numeric} | {
+            a.name for a in schema.categorical
+        }
+
+    def test_attribute_dtypes(self, schema):
+        assert schema.attribute("salary").dtype == np.dtype(np.float64)
+        assert schema.attribute("car").dtype == np.dtype(np.int32)
+
+    def test_many_classes(self):
+        s = make_schema(["x"], {}, n_classes=17)
+        assert s.n_classes == 17
+
+
+class TestTreeMetaAndWire:
+    def test_meta_carried_by_builders(self, schema, quest_small):
+        cols, labels = quest_small
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=256))
+        assert tree.meta.get("builder") == "direct"
+
+    def test_wire_format_fields_are_stable(self, schema, quest_small):
+        """The JSON wire format is a compatibility surface (CLI, the
+        small-task shipping); its field names must not drift silently."""
+        cols, labels = quest_small
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=256))
+        wire = tree.to_dict()
+        assert set(wire) == {"root", "n_classes"}
+        node = wire["root"]
+        assert {"node_id", "depth", "class_counts"} <= set(node)
+        if "split" in node:
+            assert set(node["split"]) == {
+                "attribute", "kind", "gini", "threshold", "left_codes"
+            }
+
+    def test_load_rejects_missing_file(self, schema, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DecisionTree.load(str(tmp_path / "nope.json"), schema)
+
+    def test_multiclass_wire_roundtrip(self):
+        schema, cols, labels = make_blobs(400, seed=31)
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=16))
+        clone = DecisionTree.from_dict(tree.to_dict(), schema)
+        np.testing.assert_array_equal(tree.predict(cols), clone.predict(cols))
+
+
+class TestQuestSchemaSingleton:
+    def test_quest_schema_fresh_instances_equal(self):
+        assert quest_schema() == quest_schema()
+
+    def test_quest_schema_hashable_attributes(self):
+        # frozen dataclasses: usable as dict keys / set members
+        s = quest_schema()
+        assert len({a for a in s}) == 9

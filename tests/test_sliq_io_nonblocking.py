@@ -1,0 +1,231 @@
+"""SLIQ baseline, CSV dataset I/O, and non-blocking point-to-point."""
+
+import numpy as np
+import pytest
+
+from repro.clouds import (
+    SliqBuilder,
+    SprintBuilder,
+    StoppingRule,
+    accuracy,
+    fit_direct,
+    validate_tree,
+)
+from repro.data import generate_quest, quest_schema, read_csv, write_csv
+
+from conftest import make_cluster
+
+
+class TestSliq:
+    @pytest.fixture(scope="class")
+    def fitted(self, schema, quest_small):
+        cols, labels = quest_small
+        stop = StoppingRule(min_node=16)
+        return (
+            SliqBuilder(schema, stop).fit(cols, labels),
+            fit_direct(schema, cols, labels, stop),
+            cols,
+            labels,
+        )
+
+    def test_matches_direct_oracle(self, fitted):
+        sliq, direct, cols, labels = fitted
+        np.testing.assert_array_equal(sliq.predict(cols), direct.predict(cols))
+        assert sliq.n_nodes == direct.n_nodes
+        assert sliq.depth == direct.depth
+        assert sliq.describe() == direct.describe()
+
+    def test_invariants(self, fitted):
+        sliq, _, _, _ = fitted
+        validate_tree(sliq)
+
+    def test_matches_sprint_too(self, schema, quest_small):
+        cols, labels = quest_small
+        stop = StoppingRule(min_node=32)
+        sliq = SliqBuilder(schema, stop).fit(cols, labels)
+        sprint = SprintBuilder(schema, stop).fit(cols, labels)
+        np.testing.assert_array_equal(sliq.predict(cols), sprint.predict(cols))
+
+    def test_breadth_first_ids(self, fitted):
+        """SLIQ grows level by level: child ids exceed all ids of
+        shallower nodes."""
+        sliq, _, _, _ = fitted
+        by_depth: dict[int, list[int]] = {}
+        for node in sliq.iter_nodes():
+            by_depth.setdefault(node.depth, []).append(node.node_id)
+        depths = sorted(by_depth)
+        for a, b in zip(depths, depths[1:]):
+            assert max(by_depth[a]) < min(by_depth[b])
+
+    def test_single_class(self, schema, quest_small):
+        cols, _ = quest_small
+        labels = np.zeros(len(cols["age"]), dtype=np.int32)
+        tree = SliqBuilder(schema).fit(cols, labels)
+        assert tree.root.is_leaf
+
+    def test_max_depth(self, schema, quest_small):
+        cols, labels = quest_small
+        tree = SliqBuilder(schema, StoppingRule(max_depth=3)).fit(cols, labels)
+        assert tree.depth <= 3
+
+
+class TestCsvIO:
+    @pytest.fixture
+    def csv_path(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(
+            "age,income,city,outcome\n"
+            "34,51000.5,paris,yes\n"
+            "61,23000.0,tokyo,no\n"
+            "45,80000.25,paris,yes\n"
+            "29,15500.0,lima,no\n"
+            "52,67000.0,tokyo,yes\n"
+        )
+        return str(path)
+
+    def test_roundtrip(self, csv_path, tmp_path):
+        schema, cols, labels, codec = read_csv(
+            csv_path, label_column="outcome", categorical_columns={"city"}
+        )
+        assert schema.attribute("age").is_numeric
+        assert not schema.attribute("city").is_numeric
+        assert len(labels) == 5
+        assert codec.labels == {"yes": 0, "no": 1}
+        assert codec.categorical["city"] == {"paris": 0, "tokyo": 1, "lima": 2}
+        np.testing.assert_allclose(cols["income"][:2], [51000.5, 23000.0])
+
+        out = str(tmp_path / "back.csv")
+        write_csv(out, schema, cols, labels, label_column="outcome", codec=codec)
+        schema2, cols2, labels2, _ = read_csv(
+            out, label_column="outcome", categorical_columns={"city"}
+        )
+        np.testing.assert_array_equal(labels, labels2)
+        np.testing.assert_allclose(cols["income"], cols2["income"])
+        np.testing.assert_array_equal(cols["city"], cols2["city"])
+
+    def test_trainable(self, csv_path):
+        schema, cols, labels, _ = read_csv(
+            csv_path, label_column="outcome", categorical_columns={"city"}
+        )
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=1))
+        assert accuracy(labels, tree.predict(cols)) == 1.0
+
+    def test_decode_labels(self, csv_path):
+        _, _, labels, codec = read_csv(
+            csv_path, label_column="outcome", categorical_columns={"city"}
+        )
+        assert codec.decode_labels(labels[:2]) == ["yes", "no"]
+
+    def test_missing_label_column(self, csv_path):
+        with pytest.raises(ValueError, match="label column"):
+            read_csv(csv_path, label_column="nope")
+
+    def test_unparseable_numeric_names_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,label\n1.5,a\noops,b\n")
+        with pytest.raises(ValueError, match="bad.csv:3"):
+            read_csv(str(path), label_column="label")
+
+    def test_unknown_categorical_column(self, csv_path):
+        with pytest.raises(ValueError, match="categorical"):
+            read_csv(csv_path, label_column="outcome", categorical_columns={"ghost"})
+
+    def test_single_label_value_rejected(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("x,label\n1,a\n2,a\n")
+        with pytest.raises(ValueError, match="two distinct"):
+            read_csv(str(path), label_column="label")
+
+    def test_quest_roundtrip(self, tmp_path):
+        schema = quest_schema()
+        cols, labels = generate_quest(50, seed=1)
+        path = str(tmp_path / "quest.csv")
+        write_csv(path, schema, cols, labels)
+        schema2, cols2, labels2, _ = read_csv(
+            path,
+            label_column="label",
+            categorical_columns={"elevel", "car", "zipcode"},
+        )
+        np.testing.assert_allclose(cols["salary"], cols2["salary"])
+        assert len(labels2) == 50
+
+
+class TestNonBlocking:
+    def test_isend_irecv_roundtrip(self):
+        c = make_cluster(2)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                req = ctx.comm.isend({"k": 1}, dst=1)
+                req.wait()
+                return None
+            req = ctx.comm.irecv(src=0)
+            return req.wait()
+
+        assert c.run(prog).results[1] == {"k": 1}
+
+    def test_isend_overlaps_compute(self):
+        """The point of non-blocking sends: computation proceeds during
+        the transfer, so total time beats send-then-compute."""
+        import numpy as np
+
+        c = make_cluster(2)
+        big = np.zeros(1 << 20)
+
+        def overlapped(ctx):
+            if ctx.rank == 0:
+                req = ctx.comm.isend(big, dst=1)
+                ctx.charge_compute(seconds=0.01)
+                req.wait()
+                return ctx.clock.now
+            ctx.comm.recv(src=0)
+
+        def blocking(ctx):
+            if ctx.rank == 0:
+                ctx.comm.send(big, dst=1)
+                ctx.charge_compute(seconds=0.01)
+                return ctx.clock.now
+            ctx.comm.recv(src=0)
+
+        t_overlap = c.run(overlapped).results[0]
+        t_block = make_cluster(2).run(blocking).results[0]
+        assert t_overlap < t_block
+
+    def test_wait_idempotent(self):
+        c = make_cluster(2)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.comm.send("v", dst=1)
+                return None
+            req = ctx.comm.irecv(src=0)
+            a = req.wait()
+            b = req.wait()
+            return a, b
+
+        assert c.run(prog).results[1] == ("v", "v")
+
+    def test_send_test_reflects_transfer(self):
+        c = make_cluster(2)
+        import numpy as np
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                req = ctx.comm.isend(np.zeros(1 << 20), dst=1)
+                before = req.test()
+                ctx.charge_compute(seconds=10.0)  # transfer surely drained
+                after = req.test()
+                return before, after
+            ctx.comm.recv(src=0)
+
+        before, after = c.run(prog).results[0]
+        assert not before and after
+
+    def test_bad_ranks_rejected(self):
+        c = make_cluster(2)
+        from repro.cluster import SpmdProgramError
+
+        with pytest.raises(SpmdProgramError):
+            c.run(lambda ctx: ctx.comm.isend(1, dst=5))
+        with pytest.raises(SpmdProgramError):
+            make_cluster(2).run(lambda ctx: ctx.comm.irecv(src=-1))

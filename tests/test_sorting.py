@@ -1,0 +1,159 @@
+"""External merge sort and parallel sample sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster.clock import SimClock
+from repro.cluster.diskmodel import DiskModel
+from repro.cluster.stats import RankStats
+from repro.dnc.sorting import parallel_sample_sort
+from repro.ooc import InMemoryBackend, LocalDisk, OocArray
+from repro.ooc.extsort import external_sort, is_globally_sorted
+
+from conftest import make_cluster
+
+
+def fresh_disk():
+    return LocalDisk(DiskModel(), SimClock(), RankStats(), InMemoryBackend())
+
+
+def load(disk, data, chunk=97):
+    f = OocArray(disk, np.float64, name="in")
+    for lo in range(0, len(data), chunk):
+        f.append(data[lo : lo + chunk])
+    return f
+
+
+class TestExternalSort:
+    def test_sorts_random_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.random(5000)
+        disk = fresh_disk()
+        out = external_sort(load(disk, data), run_records=256)
+        np.testing.assert_array_equal(out.read_all(), np.sort(data))
+
+    def test_multilevel_merge(self):
+        rng = np.random.default_rng(1)
+        data = rng.random(4000)
+        disk = fresh_disk()
+        # 40 runs with fan-in 3: needs 4 merge levels
+        out = external_sort(load(disk, data), run_records=100, fan_in=3)
+        assert is_globally_sorted(out)
+        assert len(out) == 4000
+
+    def test_io_volume_scales_with_merge_levels(self):
+        rng = np.random.default_rng(2)
+        data = rng.random(8000)
+        d1, d2 = fresh_disk(), fresh_disk()
+        external_sort(load(d1, data), run_records=8000)  # one run, no merge
+        external_sort(load(d2, data), run_records=100, fan_in=2)  # ~7 levels
+        assert d2.stats.bytes_read > 3 * d1.stats.bytes_read
+
+    def test_consumes_source(self):
+        disk = fresh_disk()
+        f = load(disk, np.arange(10.0))
+        external_sort(f, run_records=4)
+        with pytest.raises(ValueError):
+            f.read_all()
+
+    def test_empty_input(self):
+        out = external_sort(load(fresh_disk(), np.empty(0)), run_records=4)
+        assert len(out) == 0
+        assert is_globally_sorted(out)
+
+    def test_duplicates_preserved(self):
+        data = np.array([3.0, 1.0, 3.0, 1.0, 2.0] * 100)
+        out = external_sort(load(fresh_disk(), data), run_records=32)
+        np.testing.assert_array_equal(out.read_all(), np.sort(data))
+
+    def test_invalid_params(self):
+        f = load(fresh_disk(), np.arange(4.0))
+        with pytest.raises(ValueError):
+            external_sort(f, run_records=0)
+        with pytest.raises(ValueError):
+            external_sort(f, run_records=2, fan_in=1)
+
+    def test_is_globally_sorted_detects_disorder(self):
+        f = load(fresh_disk(), np.array([1.0, 3.0, 2.0]))
+        assert not is_globally_sorted(f)
+        g = load(fresh_disk(), np.array([1.0, 2.0, 3.0]))
+        assert is_globally_sorted(g)
+
+    @given(
+        hnp.arrays(np.float64, st.integers(0, 600),
+                   elements=st.floats(-1e6, 1e6, width=32)),
+        st.integers(1, 64),
+        st.integers(2, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_equals_numpy_sort(self, data, run_records, fan_in):
+        out = external_sort(
+            load(fresh_disk(), data, chunk=37), run_records=run_records,
+            fan_in=fan_in,
+        )
+        np.testing.assert_array_equal(out.read_all(), np.sort(data))
+
+
+class TestParallelSampleSort:
+    def test_sorts_globally(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=20_000)
+        res = parallel_sample_sort(make_cluster(4), values, seed=1)
+        assert res.verify()
+        np.testing.assert_array_equal(res.read_all(), np.sort(values))
+
+    def test_single_rank(self):
+        values = np.random.default_rng(4).random(500)
+        res = parallel_sample_sort(make_cluster(1), values, seed=2)
+        np.testing.assert_array_equal(res.read_all(), np.sort(values))
+        assert len(res.splitters) == 0
+
+    def test_bucket_balance_obeys_sampling_bound(self):
+        rng = np.random.default_rng(5)
+        values = rng.random(40_000)
+        res = parallel_sample_sort(make_cluster(8), values, oversample=64, seed=3)
+        # Angluin-Valiant flavour: oversampled splitters keep buckets
+        # within a modest factor of the mean
+        assert res.imbalance() < 1.5
+        assert res.n_records == 40_000
+
+    def test_skewed_input_still_sorts(self):
+        rng = np.random.default_rng(6)
+        values = np.concatenate([np.zeros(5000), rng.random(5000) * 1e-3,
+                                 rng.random(100) * 100])
+        res = parallel_sample_sort(make_cluster(4), values, seed=4)
+        np.testing.assert_array_equal(res.read_all(), np.sort(values))
+
+    def test_memory_limit_triggers_external_merge(self):
+        rng = np.random.default_rng(7)
+        values = rng.random(20_000)
+        free = parallel_sample_sort(make_cluster(2), values, seed=5)
+        tight_cluster = make_cluster(2, memory_limit=4 * 1024)  # 512 records
+        tight = parallel_sample_sort(tight_cluster, values, seed=5)
+        np.testing.assert_array_equal(tight.read_all(), free.read_all())
+        assert (
+            tight.run.stats.total.bytes_read > free.run.stats.total.bytes_read
+        )
+
+    def test_more_ranks_sort_faster(self):
+        from repro.bench.harness import scaled_models
+
+        rng = np.random.default_rng(8)
+        values = rng.random(30_000)
+        net, disk, compute = scaled_models(100.0)
+        times = []
+        for p in (1, 4):
+            cluster = make_cluster(
+                p, network=net, disk=disk, compute=compute,
+                memory_limit=16 * 1024,
+            )
+            times.append(parallel_sample_sort(cluster, values, seed=6).elapsed)
+        assert times[1] < times[0] / 2
+
+    def test_empty_input(self):
+        res = parallel_sample_sort(make_cluster(3), np.empty(0), seed=7)
+        assert res.n_records == 0
+        assert res.verify()

@@ -1,0 +1,93 @@
+"""Rank statistics aggregation and hypercube topology helpers."""
+
+import pytest
+
+from repro.cluster.stats import RankStats, RunStats
+from repro.cluster.topology import (
+    hamming_distance,
+    hypercube_dimension,
+    is_power_of_two,
+    neighbours,
+    subcube_partition,
+)
+
+
+class TestRankStats:
+    def test_merge_adds_fields(self):
+        a = RankStats(compute_time=1.0, bytes_read=100)
+        b = RankStats(compute_time=2.0, bytes_read=50, messages_sent=3)
+        m = a.merge(b)
+        assert m.compute_time == pytest.approx(3.0)
+        assert m.bytes_read == 150
+        assert m.messages_sent == 3
+
+    def test_busy_time_excludes_idle(self):
+        s = RankStats(compute_time=1.0, io_time=2.0, comm_time=3.0, idle_time=99.0)
+        assert s.busy_time() == pytest.approx(6.0)
+
+    def test_as_dict_roundtrip(self):
+        s = RankStats(io_calls=7)
+        assert s.as_dict()["io_calls"] == 7
+
+    def test_run_total(self):
+        run = RunStats(per_rank=[RankStats(bytes_read=10), RankStats(bytes_read=30)])
+        assert run.total.bytes_read == 40
+
+    def test_imbalance_perfect(self):
+        run = RunStats(per_rank=[RankStats(io_time=2.0), RankStats(io_time=2.0)])
+        assert run.imbalance("io_time") == pytest.approx(1.0)
+
+    def test_imbalance_skewed(self):
+        run = RunStats(per_rank=[RankStats(io_time=3.0), RankStats(io_time=1.0)])
+        assert run.imbalance("io_time") == pytest.approx(1.5)
+
+    def test_imbalance_of_method_attr(self):
+        run = RunStats(per_rank=[RankStats(compute_time=1.0), RankStats(io_time=1.0)])
+        assert run.imbalance("busy_time") == pytest.approx(1.0)
+
+    def test_imbalance_all_zero_is_one(self):
+        run = RunStats(per_rank=[RankStats(), RankStats()])
+        assert run.imbalance("io_time") == 1.0
+
+
+class TestTopology:
+    def test_dimension(self):
+        assert hypercube_dimension(1) == 0
+        assert hypercube_dimension(2) == 1
+        assert hypercube_dimension(16) == 4
+        assert hypercube_dimension(9) == 4
+
+    def test_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(16)
+        assert not is_power_of_two(0) and not is_power_of_two(12)
+
+    def test_neighbours_of_origin(self):
+        assert sorted(neighbours(0, 8)) == [1, 2, 4]
+
+    def test_neighbours_are_symmetric(self):
+        p = 16
+        for r in range(p):
+            for nb in neighbours(r, p):
+                assert r in neighbours(nb, p)
+
+    def test_neighbours_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            neighbours(0, 6)
+
+    def test_neighbours_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            neighbours(8, 8)
+
+    def test_hamming_distance(self):
+        assert hamming_distance(0, 0) == 0
+        assert hamming_distance(0b101, 0b010) == 3
+
+    def test_subcube_partition_covers_all_ranks(self):
+        groups = subcube_partition(16, 3)
+        flat = [r for g in groups for r in g]
+        assert flat == list(range(16))
+        assert max(len(g) for g in groups) - min(len(g) for g in groups) <= 1
+
+    def test_subcube_partition_rejects_too_many_groups(self):
+        with pytest.raises(ValueError):
+            subcube_partition(4, 5)

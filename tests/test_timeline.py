@@ -1,0 +1,69 @@
+"""ASCII timeline rendering."""
+
+import pytest
+
+from repro.bench.timeline import render_phase_bars, render_rank_bars
+
+
+def test_phase_bars_scale_to_longest():
+    text = render_phase_bars([{"a": 10.0, "b": 5.0}], width=10)
+    lines = text.splitlines()
+    bar_a = lines[0].count("█")
+    bar_b = lines[1].count("█")
+    assert bar_a == 10 and bar_b == 5
+
+
+def test_phase_bars_report_imbalance():
+    text = render_phase_bars(
+        [{"work": 4.0}, {"work": 2.0}], width=8
+    )
+    assert "imbalance 1.33" in text
+
+
+def test_phase_bars_missing_phase_on_some_ranks():
+    text = render_phase_bars([{"a": 1.0}, {}], width=8)
+    assert "a" in text
+
+
+def test_phase_bars_empty():
+    assert "no phases" in render_phase_bars([])
+
+
+def test_rank_bars_basics():
+    text = render_rank_bars([2.0, 1.0], label="io", width=8)
+    lines = text.splitlines()
+    assert lines[0].startswith("io 0")
+    assert lines[0].count("█") == 8
+    assert lines[1].count("█") == 4
+
+
+def test_rank_bars_empty():
+    assert "no ranks" in render_rank_bars([])
+
+
+def test_partial_blocks_render():
+    text = render_rank_bars([1.0, 0.55], width=10)
+    # 5.5 cells: 5 full blocks plus a partial glyph
+    assert any(ch in text for ch in "▏▎▍▌▋▊▉")
+
+
+def test_zero_values_render_empty_bars():
+    text = render_rank_bars([0.0, 0.0], width=10)
+    assert "█" not in text
+
+
+def test_real_run_phase_times_render(schema, quest_small):
+    from repro.clouds import CloudsConfig
+    from repro.core import DistributedDataset, PClouds, PCloudsConfig
+
+    from conftest import make_cluster
+
+    cols, labels = quest_small
+    cluster = make_cluster(2)
+    ds = DistributedDataset.create(cluster, schema, cols, labels, seed=1)
+    res = PClouds(
+        PCloudsConfig(clouds=CloudsConfig(q_root=40, sample_size=300, min_node=32))
+    ).fit(ds)
+    text = render_phase_bars(res.run.phase_times)
+    for phase in ("stats", "partition", "preprocess"):
+        assert phase in text

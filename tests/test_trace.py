@@ -1,0 +1,106 @@
+"""Communication tracing and the SPMD schedule contract."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.trace import (
+    Tracer,
+    assert_schedules_match,
+    attach_tracers,
+)
+
+from conftest import make_cluster
+
+
+def test_events_recorded_in_order():
+    c = make_cluster(2)
+    ctxs = c.make_contexts()
+    tracers = attach_tracers(ctxs)
+
+    def prog(ctx):
+        ctx.comm.allgather(np.zeros(10))
+        ctx.comm.barrier()
+        ctx.comm.allreduce(1)
+
+    c.run(prog, contexts=ctxs)
+    ops = tracers[0].schedule()
+    assert ops == ["allgather", "barrier", "allreduce"]
+    assert tracers[0].events[0].nbytes == 80
+    assert tracers[0].events[0].t_end >= tracers[0].events[0].t_start
+
+
+def test_schedules_match_for_correct_program():
+    c = make_cluster(4)
+    ctxs = c.make_contexts()
+    tracers = attach_tracers(ctxs)
+
+    def prog(ctx):
+        for _ in range(3):
+            ctx.comm.allreduce(ctx.rank)
+        ctx.comm.gather(ctx.rank, root=1)
+
+    c.run(prog, contexts=ctxs)
+    assert_schedules_match(tracers)
+
+
+def test_p2p_excluded_from_schedule():
+    c = make_cluster(2)
+    ctxs = c.make_contexts()
+    tracers = attach_tracers(ctxs)
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send("x", dst=1)
+        else:
+            ctx.comm.recv(src=0)
+        ctx.comm.barrier()
+
+    c.run(prog, contexts=ctxs)
+    assert_schedules_match(tracers)  # sends/recvs differ; barrier matches
+    assert any(e.op in ("send", "recv") for t in tracers for e in t.events)
+
+
+def test_divergence_detected():
+    a = Tracer(rank=0)
+    b = Tracer(rank=1)
+    a.record("allgather", 8, 0.0, 1.0)
+    b.record("barrier", 0, 0.0, 1.0)
+    with pytest.raises(AssertionError, match="diverged"):
+        assert_schedules_match([a, b])
+
+
+def test_length_mismatch_detected():
+    a = Tracer(rank=0)
+    b = Tracer(rank=1)
+    a.record("barrier", 0, 0.0, 1.0)
+    a.record("barrier", 0, 1.0, 2.0)
+    b.record("barrier", 0, 0.0, 1.0)
+    with pytest.raises(AssertionError, match="executed"):
+        assert_schedules_match([a, b])
+
+
+def test_timeline_renders():
+    t = Tracer(rank=3)
+    t.record("allreduce", 64, 0.5, 0.75)
+    text = t.timeline()
+    assert "rank 3" in text and "allreduce" in text
+    assert t.total_comm_bytes() == 64
+
+
+def test_pclouds_obeys_the_spmd_contract(schema, quest_small):
+    """The paper's whole algorithm under the tracer: every rank must
+    execute the identical collective schedule."""
+    from repro.clouds import CloudsConfig
+    from repro.core import DistributedDataset, PClouds, PCloudsConfig
+
+    cols, labels = quest_small
+    cluster = Cluster(4, seed=0, timeout=120.0)
+    ds = DistributedDataset.create(cluster, schema, cols, labels, seed=1)
+    tracers = attach_tracers(ds.contexts)
+    PClouds(
+        PCloudsConfig(clouds=CloudsConfig(q_root=40, sample_size=300, min_node=16))
+    ).fit(ds, seed=2)
+    assert_schedules_match(tracers)
+    # and the schedule is substantial (stats + alive + partition per node)
+    assert len(tracers[0].schedule()) > 20

@@ -1,0 +1,193 @@
+"""Decision-tree structure, the direct builder, and tree invariants."""
+
+import numpy as np
+import pytest
+
+from repro.clouds.direct import StoppingRule, find_split_direct, fit_direct
+from repro.clouds.metrics import accuracy
+from repro.clouds.splits import Split
+from repro.clouds.tree import (
+    DecisionTree,
+    TreeNode,
+    decode_node,
+    encode_node,
+    validate_tree,
+)
+from repro.data import generate_quest, quest_schema
+
+
+class TestStoppingRule:
+    def test_min_node(self):
+        r = StoppingRule(min_node=10)
+        assert r.is_leaf(np.array([4, 5]), depth=0)
+        assert not r.is_leaf(np.array([6, 5]), depth=0)
+
+    def test_max_depth(self):
+        r = StoppingRule(max_depth=3)
+        assert r.is_leaf(np.array([50, 50]), depth=3)
+        assert not r.is_leaf(np.array([50, 50]), depth=2)
+
+    def test_purity(self):
+        r = StoppingRule(purity=0.9)
+        assert r.is_leaf(np.array([95, 5]), depth=0)
+        assert not r.is_leaf(np.array([80, 20]), depth=0)
+
+    def test_tiny_nodes_always_leaves(self):
+        assert StoppingRule(min_node=1).is_leaf(np.array([1, 0]), depth=0)
+
+
+class TestFindSplitDirect:
+    def test_picks_globally_best_attribute(self, schema, quest_clean):
+        cols, labels = quest_clean
+        split = find_split_direct(schema, cols, labels)
+        # function 2 depends on age and salary only
+        assert split.attribute in ("age", "salary")
+
+    def test_pure_labels_still_return_split_or_none(self, schema, quest_clean):
+        cols, _ = quest_clean
+        labels = np.zeros(len(cols["age"]), dtype=np.int32)
+        split = find_split_direct(schema, cols, labels)
+        # all-pure data: any split has gini 0 == parent; callers reject it
+        if split is not None:
+            assert split.gini == pytest.approx(0.0)
+
+
+class TestFitDirect:
+    @pytest.fixture(scope="class")
+    def fitted(self, schema, quest_clean):
+        cols, labels = quest_clean
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=8))
+        return tree, cols, labels
+
+    def test_invariants(self, fitted):
+        tree, _, _ = fitted
+        validate_tree(tree)
+
+    def test_perfectly_fits_training_data(self, fitted):
+        tree, cols, labels = fitted
+        # noise-free separable data, min_node=8 leaves little impurity
+        assert accuracy(labels, tree.predict(cols)) > 0.99
+
+    def test_leaf_counts_partition_root(self, fitted):
+        tree, _, labels = fitted
+        leaf_total = sum(n.n for n in tree.iter_nodes() if n.is_leaf)
+        assert leaf_total == len(labels)
+
+    def test_depth_and_sizes(self, fitted):
+        tree, _, _ = fitted
+        assert tree.n_nodes == tree.n_leaves * 2 - 1  # binary tree identity
+        assert tree.depth >= 2
+
+    def test_prediction_follows_splits(self, fitted):
+        tree, cols, _ = fitted
+        root = tree.root
+        mask = root.split.goes_left(cols[root.split.attribute])
+        preds = tree.predict(cols)
+        left_preds = tree.predict({k: v[mask] for k, v in cols.items()})
+        np.testing.assert_array_equal(preds[mask], left_preds)
+
+    def test_predict_empty(self, fitted, schema):
+        tree, cols, _ = fitted
+        out = tree.predict({k: v[:0] for k, v in cols.items()})
+        assert out.shape == (0,)
+
+    def test_max_depth_respected(self, schema, quest_clean):
+        cols, labels = quest_clean
+        tree = fit_direct(schema, cols, labels, StoppingRule(max_depth=4))
+        assert tree.depth <= 4
+
+
+class TestTreeStructure:
+    def make_leaf(self, nid=0, counts=(3, 1), depth=0):
+        return TreeNode(
+            node_id=nid, depth=depth, class_counts=np.array(counts, dtype=np.int64)
+        )
+
+    def test_leaf_properties(self):
+        leaf = self.make_leaf()
+        assert leaf.is_leaf and leaf.label == 0 and leaf.n == 4 and leaf.errors == 1
+
+    def test_to_leaf_collapses(self):
+        node = self.make_leaf()
+        node.split = Split("age", "numeric", gini=0.1, threshold=40.0)
+        node.left = self.make_leaf(1, depth=1)
+        node.right = self.make_leaf(2, depth=1)
+        node.to_leaf()
+        assert node.is_leaf and node.left is None
+
+    def test_encode_decode_roundtrip(self, schema, quest_clean):
+        cols, labels = quest_clean
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=64))
+        clone = DecisionTree.from_dict(tree.to_dict(), schema)
+        np.testing.assert_array_equal(tree.predict(cols), clone.predict(cols))
+        assert clone.n_nodes == tree.n_nodes
+
+    def test_encode_preserves_categorical_splits(self):
+        node = self.make_leaf()
+        node.split = Split("car", "categorical", gini=0.2, left_codes=frozenset({1, 5}))
+        node.left = self.make_leaf(1, depth=1, counts=(2, 0))
+        node.right = self.make_leaf(2, depth=1, counts=(1, 1))
+        back = decode_node(encode_node(node))
+        assert back.split.left_codes == frozenset({1, 5})
+
+    def test_validate_catches_bad_counts(self):
+        root = self.make_leaf(0, counts=(4, 4))
+        root.split = Split("age", "numeric", gini=0.1, threshold=40.0)
+        root.left = self.make_leaf(1, counts=(1, 0), depth=1)
+        root.right = self.make_leaf(2, counts=(1, 1), depth=1)
+        tree = DecisionTree(root=root, schema=quest_schema())
+        with pytest.raises(AssertionError):
+            validate_tree(tree)
+
+    def test_validate_catches_duplicate_ids(self):
+        root = self.make_leaf(0, counts=(2, 2))
+        root.split = Split("age", "numeric", gini=0.1, threshold=40.0)
+        root.left = self.make_leaf(7, counts=(1, 1), depth=1)
+        root.right = self.make_leaf(7, counts=(1, 1), depth=1)
+        with pytest.raises(AssertionError):
+            validate_tree(DecisionTree(root=root, schema=quest_schema()))
+
+    def test_validate_catches_kind_mismatch(self):
+        root = self.make_leaf(0, counts=(2, 2))
+        root.split = Split("car", "numeric", gini=0.1, threshold=3.0)
+        root.left = self.make_leaf(1, counts=(1, 1), depth=1)
+        root.right = self.make_leaf(2, counts=(1, 1), depth=1)
+        with pytest.raises(AssertionError):
+            validate_tree(DecisionTree(root=root, schema=quest_schema()))
+
+    def test_describe_renders(self, schema, quest_small):
+        cols, labels = quest_small
+        tree = fit_direct(schema, cols, labels, StoppingRule(min_node=256))
+        text = tree.describe(max_depth=2)
+        assert "leaf" in text or "<=" in text
+
+
+class TestSplitType:
+    def test_numeric_requires_threshold(self):
+        with pytest.raises(ValueError):
+            Split("age", "numeric", gini=0.1)
+
+    def test_categorical_requires_codes(self):
+        with pytest.raises(ValueError):
+            Split("car", "categorical", gini=0.1)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Split("x", "fuzzy", gini=0.1, threshold=1.0)
+
+    def test_goes_left_numeric_inclusive(self):
+        s = Split("age", "numeric", gini=0.0, threshold=40.0)
+        np.testing.assert_array_equal(
+            s.goes_left(np.array([39.0, 40.0, 41.0])), [True, True, False]
+        )
+
+    def test_goes_left_categorical(self):
+        s = Split("car", "categorical", gini=0.0, left_codes=frozenset({2, 4}))
+        np.testing.assert_array_equal(
+            s.goes_left(np.array([1, 2, 3, 4], dtype=np.int32)),
+            [False, True, False, True],
+        )
+
+    def test_describe(self):
+        s = Split("age", "numeric", gini=0.0, threshold=40.0)
+        assert "age" in s.describe()
