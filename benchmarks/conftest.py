@@ -10,9 +10,15 @@ bench harness docs and DESIGN.md for the scaling argument.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench.harness import ExperimentConfig, run_pclouds
+
+#: set REPRO_BENCH_TRACE=1 to run every grid point under full event
+#: tracing and print its phase-attributed time and traffic timelines
+TRACE = os.environ.get("REPRO_BENCH_TRACE", "") not in ("", "0")
 
 #: 1:SCALE record-count scale-down of the paper's 3.6M-7.2M experiments
 SCALE = 200.0
@@ -37,11 +43,22 @@ class PCloudsGrid:
     def run(self, n_records: int, p: int):
         key = (n_records, p)
         if key not in self._cache:
-            self._cache[key] = run_pclouds(
+            res = run_pclouds(
                 ExperimentConfig(
                     n_records=n_records, n_ranks=p, scale=SCALE, seed=0
-                )
+                ),
+                trace=TRACE,
             )
+            if TRACE:
+                from repro.bench.timeline import (
+                    render_comm_phase_bars,
+                    render_phase_bars,
+                )
+
+                print(f"\n-- traced grid point: {n_records:,} records, p={p} --")
+                print(render_phase_bars(res.run.phase_times))
+                print(render_comm_phase_bars(res.tracers))
+            self._cache[key] = res
         return self._cache[key]
 
     def elapsed(self, n_records: int, p: int) -> float:

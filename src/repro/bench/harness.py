@@ -115,8 +115,13 @@ def build_cluster(cfg: ExperimentConfig, row_nbytes: int) -> Cluster:
     )
 
 
-def run_pclouds(cfg: ExperimentConfig) -> PCloudsResult:
-    """Generate data, distribute it, and fit pCLOUDS once."""
+def run_pclouds(cfg: ExperimentConfig, *, trace: bool = False) -> PCloudsResult:
+    """Generate data, distribute it, and fit pCLOUDS once.
+
+    ``trace=True`` records the fit's full event stream (comm + disk +
+    phases) on ``result.tracers`` — the Fig. 1–3 benches use it to emit
+    phase-attributed timelines and Perfetto exports.
+    """
     schema = quest_schema()
     cols, labels = generate_quest(
         cfg.n_records, cfg.function, seed=cfg.seed, noise=cfg.noise
@@ -138,7 +143,7 @@ def run_pclouds(cfg: ExperimentConfig) -> PCloudsResult:
             exchange=cfg.exchange,
         )
     )
-    return pc.fit(dataset, seed=cfg.seed + 2)
+    return pc.fit(dataset, seed=cfg.seed + 2, trace=trace)
 
 
 @dataclass

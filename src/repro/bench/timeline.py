@@ -2,14 +2,16 @@
 
 Renders per-rank phase times (from :class:`~repro.cluster.clock.PhaseTimer`
 snapshots) as horizontal bars — a quick visual answer to "where did the
-time go and was it balanced?" without leaving the terminal.
+time go and was it balanced?" without leaving the terminal. Traced runs
+(``repro.cluster.trace``) additionally render per-phase communication
+traffic via :func:`render_comm_phase_bars`.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["render_phase_bars", "render_rank_bars"]
+__all__ = ["render_phase_bars", "render_rank_bars", "render_comm_phase_bars"]
 
 _BLOCK = "█"
 _PARTIAL = "▏▎▍▌▋▊▉"
@@ -30,10 +32,13 @@ def _bar(value: float, scale: float, width: int) -> str:
 def render_phase_bars(
     phase_times: Sequence[Mapping[str, float]],
     width: int = 40,
+    unit: str = "s",
 ) -> str:
     """One bar per phase (max over ranks), annotated with the imbalance.
 
-    ``phase_times`` is ``SpmdRun.phase_times`` — one dict per rank.
+    ``phase_times`` is ``SpmdRun.phase_times`` — one dict per rank —
+    but any per-rank ``{phase: value}`` mapping works (``unit`` labels
+    the values: seconds by default, bytes for traffic).
     """
     phases = sorted({k for pt in phase_times for k in pt})
     if not phases:
@@ -52,9 +57,26 @@ def render_phase_bars(
         imb = maxima[k] / means[k] if means[k] > 0 else 1.0
         lines.append(
             f"{k:<{name_w}}  {_bar(maxima[k], scale, width):<{width}}  "
-            f"{maxima[k]:9.2f}s  (imbalance {imb:.2f})"
+            f"{maxima[k]:9.2f}{unit}  (imbalance {imb:.2f})"
         )
     return "\n".join(lines)
+
+
+def render_comm_phase_bars(tracers, width: int = 40) -> str:
+    """Per-phase communication traffic (max over ranks) of a traced run.
+
+    ``tracers`` are :class:`repro.cluster.trace.Tracer` objects; each
+    comm event's sent+received bytes accrue to the phase it ran under.
+    """
+    per_rank: list[dict[str, float]] = []
+    for t in tracers:
+        d: dict[str, float] = {}
+        for e in t.events:
+            if e.kind == "comm":
+                key = e.phase or "(no phase)"
+                d[key] = d.get(key, 0.0) + e.sent + e.received
+        per_rank.append(d)
+    return render_phase_bars(per_rank, width=width, unit="B")
 
 
 def render_rank_bars(

@@ -1,15 +1,17 @@
 """Command-line interface.
 
-Four subcommands cover the workflows the paper's users would run::
+Five subcommands cover the workflows the paper's users would run::
 
     repro generate --records 50000 --function 2 --out data.npz
     repro train data.npz --builder pclouds --ranks 8 --tree-out tree.json
     repro evaluate tree.json data.npz
     repro speedup --records 18000 --ranks 1 2 4 8
+    repro trace --records 4000 --ranks 4 --out trace.json
 
 Datasets travel as ``.npz`` archives (one array per attribute column plus
 ``labels``); trees as the JSON wire format of
-:meth:`repro.clouds.DecisionTree.to_dict`.
+:meth:`repro.clouds.DecisionTree.to_dict`; ``repro trace`` writes
+Chrome-trace JSON loadable in Perfetto (https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -159,6 +161,36 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.bench.timeline import render_comm_phase_bars
+    from repro.cluster.trace import assert_schedules_match
+    from repro.cluster.tracereport import write_chrome_trace
+
+    cfg = ExperimentConfig(
+        n_records=args.records, n_ranks=args.ranks, scale=args.scale,
+        seed=args.seed,
+    )
+    res = run_pclouds(cfg, trace=True)
+    assert_schedules_match(res.tracers)
+    report = res.trace_report()
+    n_events = sum(len(t.events) for t in res.tracers)
+    print(
+        f"traced pCLOUDS fit: {args.records:,} records on {args.ranks} ranks, "
+        f"{res.elapsed:.2f} simulated s, {n_events:,} events "
+        f"(SPMD schedule contract: OK)"
+    )
+    print()
+    print(report.render())
+    print()
+    print("== comm bytes by phase (max over ranks) ==")
+    print(render_comm_phase_bars(res.tracers))
+    if args.out:
+        write_chrome_trace(args.out, res.tracers)
+        print(f"\nwrote Chrome-trace JSON to {args.out} "
+              f"(load at https://ui.perfetto.dev)")
+    return 0
+
+
 def cmd_speedup(args: argparse.Namespace) -> int:
     rows = []
     base = None
@@ -228,6 +260,17 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--ranks", type=int, default=1, help=">1: distributed evaluation")
     e.add_argument("--seed", type=int, default=0)
     e.set_defaults(func=cmd_evaluate)
+
+    tr = sub.add_parser(
+        "trace",
+        help="run a traced fit: where do bytes and time go, per phase?",
+    )
+    tr.add_argument("--records", type=int, default=4000)
+    tr.add_argument("--ranks", type=int, default=4)
+    tr.add_argument("--scale", type=float, default=200.0, help="cost-model scale")
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--out", help="write Chrome-trace/Perfetto JSON here")
+    tr.set_defaults(func=cmd_trace)
 
     s = sub.add_parser("speedup", help="run a quick speedup experiment")
     s.add_argument("--records", type=int, default=18_000)

@@ -20,6 +20,8 @@ from .errors import (
 from .machine import Cluster, RankContext, SpmdRun
 from .network import NetworkModel
 from .stats import RankStats, RunStats
+from .trace import TraceEvent, Tracer, assert_schedules_match, attach_tracers
+from .tracereport import TraceReport, to_chrome_trace, write_chrome_trace
 
 __all__ = [
     "Cluster",
@@ -39,5 +41,12 @@ __all__ = [
     "SimClock",
     "SpmdProgramError",
     "SpmdRun",
+    "TraceEvent",
+    "TraceReport",
+    "Tracer",
+    "assert_schedules_match",
+    "attach_tracers",
     "payload_nbytes",
+    "to_chrome_trace",
+    "write_chrome_trace",
 ]

@@ -40,12 +40,23 @@ class PhaseTimer:
     Used by pCLOUDS to attribute elapsed time to e.g. ``"stats"``,
     ``"alive"``, ``"partition"``, ``"small_nodes"`` the way the paper's
     discussion separates phase costs.
+
+    When a tracer is attached (``repro.cluster.trace.attach_tracers``),
+    every closed phase is also emitted as a span event, and the tracer
+    reads :attr:`current` to tag comm/disk events with the open phase.
     """
 
     clock: SimClock
     totals: dict[str, float] = field(default_factory=dict)
     _open: str | None = None
     _started_at: float = 0.0
+    #: optional event sink with a ``record_phase(name, t0, t1)`` method.
+    tracer: object | None = None
+
+    @property
+    def current(self) -> str | None:
+        """The open phase name, or None between phases."""
+        return self._open
 
     def start(self, phase: str) -> None:
         """Begin attributing time to ``phase`` (closing any open phase)."""
@@ -60,6 +71,8 @@ class PhaseTimer:
             return
         dt = self.clock.now - self._started_at
         self.totals[self._open] = self.totals.get(self._open, 0.0) + dt
+        if self.tracer is not None:
+            self.tracer.record_phase(self._open, self._started_at, self.clock.now)
         self._open = None
 
     def snapshot(self) -> dict[str, float]:

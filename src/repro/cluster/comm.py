@@ -18,6 +18,7 @@ from __future__ import annotations
 import pickle
 import queue
 import threading
+from functools import lru_cache
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -26,12 +27,21 @@ from .errors import ClusterAborted, CommMismatchError, DeadlockError
 from .network import NetworkModel
 
 
+@lru_cache(maxsize=8192)
+def _str_nbytes(s: str) -> int:
+    # dict keys are overwhelmingly a small set of repeated column names;
+    # memoizing their encoded length keeps nested-dict sizing O(values)
+    return len(s.encode())
+
+
 def payload_nbytes(obj: Any) -> int:
     """Wire size of a message payload, in bytes.
 
     numpy arrays are their buffer size; scalars are one word; containers
     are the sum of their items plus a small per-item header. Anything
-    opaque falls back to its pickle length.
+    opaque falls back to its pickle length. Sizing a column dict
+    (str -> ndarray, the dominant ``alltoall`` payload) touches each
+    value once and hits a string cache for the keys.
     """
     if obj is None:
         return 0
@@ -42,13 +52,16 @@ def payload_nbytes(obj: Any) -> int:
     if isinstance(obj, (bool, int, float, np.integer, np.floating)):
         return 8
     if isinstance(obj, str):
-        return len(obj.encode())
+        return _str_nbytes(obj)
     if isinstance(obj, (list, tuple)):
         return 8 + sum(payload_nbytes(x) for x in obj)
     if isinstance(obj, dict):
-        return 8 + sum(
-            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
-        )
+        total = 8
+        for k, v in obj.items():
+            # inline the two hottest entry shapes before recursing
+            total += _str_nbytes(k) if type(k) is str else payload_nbytes(k)
+            total += int(v.nbytes) if type(v) is np.ndarray else payload_nbytes(v)
+        return total
     return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 

@@ -1,12 +1,28 @@
 """Event tracing for the simulated machine.
 
-A :class:`Tracer` attached to a rank context records every communication
-event (primitive name, payload bytes, simulated start/end). Two uses:
+A :class:`Tracer` attached to a rank context records a structured event
+stream: every communication call (collectives *and* point-to-point, on
+the world communicator and on every sub-communicator created by
+``split``), every disk read/write, and every closed :class:`PhaseTimer`
+phase. Each event is tagged with the phase that was open when it
+happened, so a run can be rolled up as *bytes and time by primitive ×
+phase* (see :mod:`repro.cluster.tracereport`). Three uses:
 
-* debugging SPMD programs — dump a rank's timeline;
+* debugging SPMD programs — dump a rank's timeline, or export the whole
+  run as Chrome-trace/Perfetto JSON;
+* answering the paper's questions (Sections 3–6, Table 1) — where does
+  the time go: collective startups, bandwidth, or local I/O?
 * verifying the SPMD contract — all ranks of a correct program execute
-  the *same sequence of collectives*; :func:`assert_schedules_match`
-  checks it, and the test-suite runs pCLOUDS under it.
+  the *same sequence of collectives* per communicator;
+  :func:`assert_schedules_match` checks it, and the test-suite runs
+  pCLOUDS under it.
+
+Byte accounting is exact by construction: the tracer does not recompute
+payload sizes but snapshots the rank's :class:`RankStats` byte counters
+around each primitive, so an event's ``sent``/``received`` are precisely
+what the communicator charged (a ``recv`` carries the true payload size,
+``allreduce_minloc`` includes its payload, and nested primitives — the
+``allgather`` inside ``split`` — are never double-counted).
 
 Tracing is opt-in (``Cluster.run`` is unaffected); wrap contexts with
 :func:`attach_tracers` before running.
@@ -17,24 +33,47 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from .comm import Comm, payload_nbytes
+from .comm import Comm
 from .machine import RankContext
 
-__all__ = ["CommEvent", "Tracer", "attach_tracers", "assert_schedules_match"]
+__all__ = [
+    "TraceEvent",
+    "CommEvent",
+    "Tracer",
+    "attach_tracers",
+    "assert_schedules_match",
+]
+
+#: communicator label given to the communicator present at attach time.
+WORLD = "world"
+
+#: point-to-point ops, excluded from schedules (sends and receives
+#: legitimately differ across ranks).
+_P2P_OPS = ("send", "recv", "isend")
 
 
 @dataclass(frozen=True)
-class CommEvent:
-    """One traced communication call."""
+class TraceEvent:
+    """One traced event: a communication call, a disk access, or a
+    closed phase."""
 
-    op: str  # primitive name ("allgather", "send", ...)
-    nbytes: int  # payload size this rank contributed
+    op: str  # primitive name ("allgather", "read", ...) or phase name
+    nbytes: int  # payload size this rank moved (max of sent/received)
     t_start: float
     t_end: float
+    kind: str = "comm"  # "comm" | "disk" | "phase"
+    phase: str | None = None  # PhaseTimer phase open when the event happened
+    comm: str | None = None  # communicator label ("world", "world/0,1", ...)
+    sent: int = 0  # bytes this rank sent (comm) / wrote (disk)
+    received: int = 0  # bytes this rank received (comm) / read (disk)
 
     @property
     def duration(self) -> float:
         return self.t_end - self.t_start
+
+
+#: backwards-compatible alias — earlier versions only traced comm calls.
+CommEvent = TraceEvent
 
 
 @dataclass
@@ -42,35 +81,128 @@ class Tracer:
     """Per-rank event log."""
 
     rank: int
-    events: list[CommEvent] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
+    #: PhaseTimer consulted for the open phase when recording events.
+    phase_source: Any = None
+    # bytes already attributed to recorded comm events; lets an outer
+    # primitive (split) subtract what its nested calls already logged.
+    attributed_sent: int = 0
+    attributed_received: int = 0
 
-    def record(self, op: str, nbytes: int, t_start: float, t_end: float) -> None:
-        self.events.append(CommEvent(op, int(nbytes), t_start, t_end))
+    def record(
+        self,
+        op: str,
+        nbytes: int,
+        t_start: float,
+        t_end: float,
+        *,
+        kind: str = "comm",
+        comm: str | None = WORLD,
+        sent: int = 0,
+        received: int = 0,
+        phase: str | None = None,
+    ) -> None:
+        if phase is None and self.phase_source is not None:
+            phase = self.phase_source.current
+        if kind != "comm":
+            comm = None
+        self.events.append(
+            TraceEvent(
+                op=op,
+                nbytes=int(nbytes),
+                t_start=t_start,
+                t_end=t_end,
+                kind=kind,
+                phase=phase,
+                comm=comm,
+                sent=int(sent),
+                received=int(received),
+            )
+        )
+        if kind == "comm":
+            self.attributed_sent += int(sent)
+            self.attributed_received += int(received)
 
-    def schedule(self) -> list[str]:
-        """The ordered collective-op sequence (p2p excluded: sends and
-        receives legitimately differ across ranks)."""
-        return [e.op for e in self.events if e.op not in ("send", "recv")]
+    def record_disk(
+        self, op: str, nbytes: int, t_start: float, t_end: float
+    ) -> None:
+        self.record(
+            op,
+            nbytes,
+            t_start,
+            t_end,
+            kind="disk",
+            sent=nbytes if op == "write" else 0,
+            received=nbytes if op == "read" else 0,
+        )
+
+    def record_phase(self, name: str, t_start: float, t_end: float) -> None:
+        self.record(name, 0, t_start, t_end, kind="phase", phase=name)
+
+    # -- views ---------------------------------------------------------------
+    def comm_events(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "comm"]
+
+    def disk_events(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "disk"]
+
+    def phase_events(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "phase"]
+
+    def schedule(self, comm: str | None = None) -> list[str]:
+        """The ordered collective-op sequence (p2p excluded). ``comm``
+        restricts to one communicator label; default is all of them."""
+        return [
+            e.op
+            for e in self.events
+            if e.kind == "comm"
+            and e.op not in _P2P_OPS
+            and (comm is None or e.comm == comm)
+        ]
+
+    def schedules_by_comm(self) -> dict[str, list[str]]:
+        """Collective sequences grouped by communicator label. The world
+        communicator is always present (possibly empty) so that a rank
+        that executed nothing still participates in schedule matching."""
+        out: dict[str, list[str]] = {WORLD: []}
+        for e in self.events:
+            if e.kind == "comm" and e.op not in _P2P_OPS:
+                out.setdefault(e.comm or WORLD, []).append(e.op)
+        return out
 
     def timeline(self) -> str:
         """Human-readable dump."""
-        lines = [f"rank {self.rank}: {len(self.events)} comm events"]
+        lines = [f"rank {self.rank}: {len(self.events)} events"]
         for e in self.events:
+            where = f" @{e.phase}" if e.phase else ""
+            which = f" [{e.comm}]" if e.comm and e.comm != WORLD else ""
             lines.append(
-                f"  [{e.t_start:10.4f} - {e.t_end:10.4f}] {e.op:<10} {e.nbytes} B"
+                f"  [{e.t_start:10.4f} - {e.t_end:10.4f}] {e.kind:<5} "
+                f"{e.op:<10} {e.nbytes} B{which}{where}"
             )
         return "\n".join(lines)
 
     def total_comm_bytes(self) -> int:
-        return sum(e.nbytes for e in self.events)
+        return sum(e.nbytes for e in self.events if e.kind == "comm")
+
+    def total_disk_bytes(self) -> int:
+        return sum(e.nbytes for e in self.events if e.kind == "disk")
 
 
 class _TracingComm(Comm):
-    """Comm wrapper that logs each primitive around the real call."""
+    """Comm wrapper that logs each primitive around the real call.
+
+    Byte counts come from :class:`RankStats` deltas, not from re-walking
+    the payload — exact per-primitive accounting at zero extra payload
+    traversals. ``split`` returns a traced child communicator whose label
+    extends the parent's with the subgroup's parent-rank list, so
+    subgroup collectives appear in schedules and byte totals.
+    """
 
     _TRACED = (
         "barrier",
         "bcast",
+        "scatter",
         "gather",
         "allgather",
         "reduce",
@@ -80,28 +212,50 @@ class _TracingComm(Comm):
         "alltoall",
         "send",
         "recv",
+        "isend",
         "split",
     )
 
-    def __init__(self, inner: Comm, tracer: Tracer) -> None:
+    def __init__(self, inner: Comm, tracer: Tracer, label: str = WORLD) -> None:
         self._world = inner._world
         self.rank = inner.rank
         self.size = inner.size
         self._ctx = inner._ctx
         self.parent_ranks = inner.parent_ranks
         self._tracer = tracer
+        self._label = label
 
     def __getattribute__(self, name: str):
         if name in _TracingComm._TRACED:
             real = Comm.__dict__[name].__get__(self, Comm)
             tracer = object.__getattribute__(self, "_tracer")
             ctx = object.__getattribute__(self, "_ctx")
+            label = object.__getattribute__(self, "_label")
 
             def traced(*args: Any, **kwargs: Any):
+                stats = ctx.stats
                 t0 = ctx.clock.now
-                nbytes = payload_nbytes(args[0]) if args else 0
+                s0, r0 = stats.bytes_sent, stats.bytes_received
+                a_s0, a_r0 = tracer.attributed_sent, tracer.attributed_received
                 out = real(*args, **kwargs)
-                tracer.record(name, nbytes, t0, ctx.clock.now)
+                # stats delta minus whatever nested traced calls already
+                # attributed (split's inner allgather records itself)
+                sent = (stats.bytes_sent - s0) - (tracer.attributed_sent - a_s0)
+                received = (stats.bytes_received - r0) - (
+                    tracer.attributed_received - a_r0
+                )
+                if name == "split":
+                    members = ",".join(str(r) for r in out.parent_ranks)
+                    out = _TracingComm(out, tracer, label=f"{label}/{members}")
+                tracer.record(
+                    name,
+                    max(sent, received),
+                    t0,
+                    ctx.clock.now,
+                    comm=label,
+                    sent=sent,
+                    received=received,
+                )
                 return out
 
             return traced
@@ -109,30 +263,44 @@ class _TracingComm(Comm):
 
 
 def attach_tracers(contexts: list[RankContext]) -> list[Tracer]:
-    """Wrap every context's communicator; returns the tracers (indexed by
-    rank) that fill up during subsequent runs."""
+    """Wrap every context's communicator, disk and phase timer; returns
+    the tracers (indexed by rank) that fill up during subsequent runs."""
     tracers = []
     for ctx in contexts:
-        tracer = Tracer(rank=ctx.rank)
+        tracer = Tracer(rank=ctx.rank, phase_source=ctx.timer)
         ctx.comm = _TracingComm(ctx.comm, tracer)
+        ctx.disk.tracer = tracer
+        ctx.timer.tracer = tracer
         tracers.append(tracer)
     return tracers
 
 
 def assert_schedules_match(tracers: list[Tracer]) -> None:
     """Every rank must have executed the identical collective sequence —
-    the SPMD contract the simulated machine relies on."""
-    schedules = [t.schedule() for t in tracers]
-    base = schedules[0]
-    for rank, sched in enumerate(schedules[1:], start=1):
-        if sched != base:
+    the SPMD contract the simulated machine relies on. Sub-communicator
+    schedules are checked among the ranks that used each communicator
+    (different subgroups legitimately run different schedules)."""
+    if not tracers:
+        return
+    by_comm: dict[str, dict[int, list[str]]] = {}
+    for t in tracers:
+        for label, sched in t.schedules_by_comm().items():
+            by_comm.setdefault(label, {})[t.rank] = sched
+    for label, per_rank in sorted(by_comm.items()):
+        ranks = sorted(per_rank)
+        base_rank, base = ranks[0], per_rank[ranks[0]]
+        where = "" if label == WORLD else f" on communicator {label!r}"
+        for rank in ranks[1:]:
+            sched = per_rank[rank]
+            if sched == base:
+                continue
             for i, (a, b) in enumerate(zip(base, sched)):
                 if a != b:
                     raise AssertionError(
-                        f"rank {rank} diverged from rank 0 at collective "
-                        f"#{i}: {a!r} vs {b!r}"
+                        f"rank {rank} diverged from rank {base_rank} at "
+                        f"collective #{i}{where}: {a!r} vs {b!r}"
                     )
             raise AssertionError(
-                f"rank {rank} executed {len(sched)} collectives, "
-                f"rank 0 executed {len(base)}"
+                f"rank {rank} executed {len(sched)} collectives{where}, "
+                f"rank {base_rank} executed {len(base)}"
             )

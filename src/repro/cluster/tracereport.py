@@ -1,0 +1,276 @@
+"""Roll-ups and exporters for traced runs.
+
+Turns the per-rank event streams of :mod:`repro.cluster.trace` into the
+per-phase breakdowns the paper argues from (Sections 3–6, Table 1):
+
+* :class:`TraceReport` — bytes and time by primitive × phase, per-rank
+  totals, and idle/skew analysis across ranks, with a text renderer;
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — Chrome-trace
+  JSON (the ``traceEvents`` array format) loadable in Perfetto or
+  ``chrome://tracing``, one track per rank, comm/disk slices nested
+  inside their phase spans.
+
+Simulated seconds are exported as trace microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+from .trace import Tracer
+
+__all__ = [
+    "OpRow",
+    "RankTotals",
+    "TraceReport",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+_NO_PHASE = "(no phase)"
+
+
+@dataclass(frozen=True)
+class OpRow:
+    """Aggregate over all ranks for one (phase, kind, op) cell."""
+
+    phase: str
+    kind: str
+    op: str
+    count: int
+    time: float  # sum of event durations over all ranks
+    sent: int
+    received: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.sent + self.received
+
+
+@dataclass(frozen=True)
+class RankTotals:
+    """Per-rank traffic and activity totals."""
+
+    rank: int
+    comm_sent: int
+    comm_received: int
+    comm_time: float
+    disk_read: int
+    disk_written: int
+    disk_time: float
+    n_events: int
+    t_end: float  # latest event end on this rank
+
+
+class TraceReport:
+    """Aggregated view over the tracers of one run."""
+
+    def __init__(self, tracers: list[Tracer]) -> None:
+        self.tracers = list(tracers)
+        self.rows = self._aggregate_ops()
+        self.per_rank = self._aggregate_ranks()
+
+    @classmethod
+    def from_tracers(cls, tracers: Iterable[Tracer]) -> "TraceReport":
+        return cls(list(tracers))
+
+    # -- aggregation ---------------------------------------------------------
+    def _aggregate_ops(self) -> list[OpRow]:
+        acc: dict[tuple[str, str, str], list] = {}
+        for t in self.tracers:
+            for e in t.events:
+                if e.kind == "phase":
+                    continue  # phases are the grouping, not a row
+                key = (e.phase or _NO_PHASE, e.kind, e.op)
+                cell = acc.setdefault(key, [0, 0.0, 0, 0])
+                cell[0] += 1
+                cell[1] += e.duration
+                cell[2] += e.sent
+                cell[3] += e.received
+        return [
+            OpRow(phase=p, kind=k, op=o, count=c, time=dt, sent=s, received=r)
+            for (p, k, o), (c, dt, s, r) in sorted(acc.items())
+        ]
+
+    def _aggregate_ranks(self) -> list[RankTotals]:
+        out = []
+        for t in self.tracers:
+            comm = t.comm_events()
+            disk = t.disk_events()
+            out.append(
+                RankTotals(
+                    rank=t.rank,
+                    comm_sent=sum(e.sent for e in comm),
+                    comm_received=sum(e.received for e in comm),
+                    comm_time=sum(e.duration for e in comm),
+                    disk_read=sum(e.received for e in disk),
+                    disk_written=sum(e.sent for e in disk),
+                    disk_time=sum(e.duration for e in disk),
+                    n_events=len(t.events),
+                    t_end=max((e.t_end for e in t.events), default=0.0),
+                )
+            )
+        return out
+
+    # -- totals --------------------------------------------------------------
+    @property
+    def total_sent(self) -> int:
+        return sum(r.comm_sent for r in self.per_rank)
+
+    @property
+    def total_received(self) -> int:
+        return sum(r.comm_received for r in self.per_rank)
+
+    @property
+    def total_disk_read(self) -> int:
+        return sum(r.disk_read for r in self.per_rank)
+
+    @property
+    def total_disk_written(self) -> int:
+        return sum(r.disk_written for r in self.per_rank)
+
+    def phase_comm_bytes(self) -> dict[str, int]:
+        """Total comm bytes (sent + received over all ranks) per phase."""
+        out: dict[str, int] = {}
+        for row in self.rows:
+            if row.kind == "comm":
+                out[row.phase] = out.get(row.phase, 0) + row.nbytes
+        return out
+
+    def phase_skew(self) -> dict[str, tuple[float, float, float]]:
+        """Per phase: (max over ranks, mean over ranks, max/mean ratio)
+        of the simulated time the ranks spent in it. The ratio is the
+        paper's load-balance lens: 1.0 means perfectly even phases."""
+        per_rank: list[dict[str, float]] = []
+        for t in self.tracers:
+            d: dict[str, float] = {}
+            for e in t.phase_events():
+                d[e.op] = d.get(e.op, 0.0) + e.duration
+            per_rank.append(d)
+        phases = sorted({k for d in per_rank for k in d})
+        out = {}
+        n = max(len(per_rank), 1)
+        for ph in phases:
+            vals = [d.get(ph, 0.0) for d in per_rank]
+            mx, mean = max(vals), sum(vals) / n
+            out[ph] = (mx, mean, mx / mean if mean > 0 else 1.0)
+        return out
+
+    def rank_skew(self) -> float:
+        """Spread of the ranks' final event times: (max - min) / max.
+        0.0 means all ranks finished together (no trailing idle)."""
+        ends = [r.t_end for r in self.per_rank]
+        if not ends or max(ends) == 0:
+            return 0.0
+        return (max(ends) - min(ends)) / max(ends)
+
+    # -- rendering -----------------------------------------------------------
+    def render(self) -> str:
+        """The run as text: traffic by primitive × phase, per-rank
+        totals, and the skew analysis."""
+        lines = ["== traffic by primitive × phase (all ranks) =="]
+        header = (
+            f"{'phase':<14} {'kind':<5} {'op':<16} {'count':>7} "
+            f"{'bytes':>14} {'sent':>14} {'received':>14} {'time(s)':>10}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                f"{row.phase:<14} {row.kind:<5} {row.op:<16} {row.count:>7} "
+                f"{row.nbytes:>14,} {row.sent:>14,} {row.received:>14,} "
+                f"{row.time:>10.3f}"
+            )
+        lines.append(
+            f"total comm: sent {self.total_sent:,} B, "
+            f"received {self.total_received:,} B; "
+            f"disk: read {self.total_disk_read:,} B, "
+            f"written {self.total_disk_written:,} B"
+        )
+        lines.append("")
+        lines.append("== per-rank totals ==")
+        lines.append(
+            f"{'rank':>4} {'comm sent':>14} {'comm recv':>14} "
+            f"{'disk read':>14} {'disk write':>14} {'events':>8} {'end(s)':>10}"
+        )
+        for r in self.per_rank:
+            lines.append(
+                f"{r.rank:>4} {r.comm_sent:>14,} {r.comm_received:>14,} "
+                f"{r.disk_read:>14,} {r.disk_written:>14,} {r.n_events:>8} "
+                f"{r.t_end:>10.3f}"
+            )
+        skew = self.phase_skew()
+        if skew:
+            lines.append("")
+            lines.append("== phase skew across ranks ==")
+            lines.append(
+                f"{'phase':<14} {'max(s)':>10} {'mean(s)':>10} {'imbalance':>10}"
+            )
+            for ph, (mx, mean, ratio) in skew.items():
+                lines.append(
+                    f"{ph:<14} {mx:>10.3f} {mean:>10.3f} {ratio:>10.2f}"
+                )
+        lines.append(f"finish-time skew across ranks: {self.rank_skew():.1%}")
+        return "\n".join(lines)
+
+
+# -- Chrome trace / Perfetto export ------------------------------------------
+
+
+def to_chrome_trace(tracers: Iterable[Tracer]) -> dict:
+    """The run as a Chrome-trace dict (``{"traceEvents": [...]}``).
+
+    Complete ("X") slices, one trace thread per rank, with phase spans
+    enclosing the comm/disk slices they cover. Simulated seconds map to
+    trace microseconds; byte counts and communicator labels travel in
+    each slice's ``args``.
+    """
+    events: list[dict] = []
+    for t in tracers:
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": t.rank,
+                "args": {"name": f"rank {t.rank}"},
+            }
+        )
+        slices = []
+        for e in t.events:
+            args: dict = {"kind": e.kind}
+            if e.kind == "comm":
+                args.update(
+                    {"comm": e.comm, "sent": e.sent, "received": e.received}
+                )
+                if e.phase:
+                    args["phase"] = e.phase
+            elif e.kind == "disk":
+                args["nbytes"] = e.nbytes
+                if e.phase:
+                    args["phase"] = e.phase
+            slices.append(
+                {
+                    "name": e.op,
+                    "cat": e.kind,
+                    "ph": "X",
+                    "ts": e.t_start * 1e6,
+                    "dur": max(e.duration, 0.0) * 1e6,
+                    "pid": 0,
+                    "tid": t.rank,
+                    "args": args,
+                }
+            )
+        # enclosing spans first at equal start times, so viewers nest
+        # phase > primitive correctly
+        slices.sort(key=lambda s: (s["ts"], -s["dur"]))
+        events.extend(slices)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, tracers: Iterable[Tracer]) -> None:
+    """Write :func:`to_chrome_trace` output as JSON, for Perfetto."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(tracers), fh)

@@ -45,7 +45,7 @@ from .small_tasks import SmallTask, process_small_tasks
 from .stats_exchange import exchange_node_stats
 from .switching import auto_q_switch
 
-__all__ = ["PClouds", "PCloudsResult"]
+__all__ = ["PClouds", "PCloudsResult", "apportion_sample"]
 
 
 @dataclass
@@ -68,6 +68,16 @@ class PCloudsResult:
     n_large_nodes: int
     n_small_tasks: int
     survival_ratios: list[float] = field(default_factory=list)
+    #: per-rank event streams when the fit ran with ``trace=True``
+    tracers: list | None = None
+
+    def trace_report(self):
+        """Roll-up of the traced run (requires ``fit(..., trace=True)``)."""
+        if self.tracers is None:
+            raise ValueError("fit was not traced; pass trace=True to fit()")
+        from repro.cluster.tracereport import TraceReport
+
+        return TraceReport.from_tracers(self.tracers)
 
     def phase_time(self, phase: str) -> float:
         """Max-over-ranks simulated time attributed to one phase."""
@@ -85,13 +95,25 @@ class PClouds:
     def __init__(self, config: PCloudsConfig | None = None) -> None:
         self.config = config or PCloudsConfig()
 
-    def fit(self, dataset: DistributedDataset, seed: int = 0) -> PCloudsResult:
+    def fit(
+        self, dataset: DistributedDataset, seed: int = 0, *, trace: bool = False
+    ) -> PCloudsResult:
         """Build the decision tree for a distributed training set.
 
         Consumes the dataset's disk fragments (children overwrite parents
         exactly as on the real machine); create a fresh
         :class:`DistributedDataset` to fit again.
+
+        ``trace=True`` runs the fit under per-rank event tracing
+        (collectives, point-to-point, disk accesses, phases); the event
+        streams land on :attr:`PCloudsResult.tracers` and roll up via
+        :meth:`PCloudsResult.trace_report`.
         """
+        tracers = None
+        if trace:
+            from repro.cluster.trace import attach_tracers
+
+            tracers = attach_tracers(dataset.contexts)
         run = dataset.cluster.run(
             _fit_program,
             dataset.columnsets,
@@ -115,10 +137,37 @@ class PClouds:
             n_large_nodes=payload["n_large"],
             n_small_tasks=payload["n_small"],
             survival_ratios=payload["survival"],
+            tracers=tracers,
         )
 
 
 # -- the SPMD program -------------------------------------------------------
+
+
+def apportion_sample(sample_size: int, counts: list[int]) -> list[int]:
+    """Largest-remainder apportionment of the global sample over ranks.
+
+    Returns per-rank draw sizes proportional to the ranks' local row
+    counts with ``sum(out) == min(sample_size, sum(counts))`` exactly and
+    ``out[r] <= counts[r]`` everywhere. Independent per-rank rounding
+    (the old ``int(round(...))``) drifted from the requested sample size
+    by up to p/2 records. Ties go to the lowest rank, so every rank
+    computes the identical apportionment from the allgathered counts.
+    """
+    total = sum(counts)
+    if total <= 0:
+        return [0] * len(counts)
+    want = min(int(sample_size), total)
+    quotas = [want * c / total for c in counts]
+    out = [min(int(q), c) for q, c in zip(quotas, counts)]
+    while sum(out) < want:
+        # most-underserved rank that still has rows to give
+        r = max(
+            (r for r in range(len(counts)) if out[r] < counts[r]),
+            key=lambda r: (quotas[r] - out[r], -r),
+        )
+        out[r] += 1
+    return out
 
 
 def _root_preprocess(
@@ -136,7 +185,8 @@ def _root_preprocess(
     split, so interval boundaries are later derived without communication.
     """
     rng = np.random.default_rng(np.random.SeedSequence([seed, 17, ctx.rank]))
-    want_local = int(round(sample_size * cs.nrows / max(n_total, 1)))
+    local_rows = ctx.comm.allgather(int(cs.nrows))
+    want_local = apportion_sample(sample_size, local_rows)[ctx.rank]
     n = cs.nrows
     pick = (
         np.sort(rng.choice(n, size=min(want_local, n), replace=False))

@@ -17,7 +17,11 @@ from .backend import InMemoryBackend, StorageBackend
 
 
 class LocalDisk:
-    """Charges simulated time for chunk traffic and tracks volumes."""
+    """Charges simulated time for chunk traffic and tracks volumes.
+
+    When a tracer is attached (``repro.cluster.trace.attach_tracers``),
+    every charged access is also emitted as a ``disk`` trace event.
+    """
 
     def __init__(
         self,
@@ -30,20 +34,28 @@ class LocalDisk:
         self.clock = clock
         self.stats = stats
         self.backend = backend if backend is not None else InMemoryBackend()
+        #: optional event sink with a ``record_disk(op, nbytes, t0, t1)`` method.
+        self.tracer = None
 
     def charge_read(self, nbytes: int, *, sequential: bool = True) -> None:
+        t0 = self.clock.now
         dt = self.model.access(nbytes, sequential=sequential)
         self.clock.advance(dt)
         self.stats.io_time += dt
         self.stats.bytes_read += int(nbytes)
         self.stats.io_calls += 1
+        if self.tracer is not None:
+            self.tracer.record_disk("read", int(nbytes), t0, self.clock.now)
 
     def charge_write(self, nbytes: int, *, sequential: bool = True) -> None:
+        t0 = self.clock.now
         dt = self.model.access(nbytes, sequential=sequential)
         self.clock.advance(dt)
         self.stats.io_time += dt
         self.stats.bytes_written += int(nbytes)
         self.stats.io_calls += 1
+        if self.tracer is not None:
+            self.tracer.record_disk("write", int(nbytes), t0, self.clock.now)
 
     def close(self) -> None:
         self.backend.close()

@@ -93,6 +93,32 @@ class TestSpeedup:
         assert "p=" not in out  # table uses a column, not series labels
 
 
+class TestTrace:
+    def test_report_and_perfetto_export(self, tmp_path, capsys):
+        out_path = str(tmp_path / "trace.json")
+        assert main([
+            "trace", "--records", "1200", "--ranks", "2", "--seed", "1",
+            "--out", out_path,
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "SPMD schedule contract: OK" in text
+        assert "traffic by primitive" in text
+        assert "comm bytes by phase" in text
+        assert "perfetto" in text.lower()
+        with open(out_path) as fh:
+            data = json.load(fh)
+        slices = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert {"comm", "disk", "phase"} <= {e["cat"] for e in slices}
+        ranks = {e["tid"] for e in slices}
+        assert ranks == {0, 1}
+
+    def test_report_only_without_out(self, capsys):
+        assert main(["trace", "--records", "800", "--ranks", "2"]) == 0
+        text = capsys.readouterr().out
+        assert "per-rank totals" in text
+        assert "wrote" not in text
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -110,6 +110,63 @@ class TestCorrectness:
         assert acc > 0.93
 
 
+class TestSampleApportionment:
+    """The global root sample must have exactly cfg.sample_size records;
+    independent per-rank rounding drifted by up to p/2."""
+
+    def test_apportion_exact_and_capped(self):
+        from repro.core.pclouds import apportion_sample
+
+        for counts in (
+            [100, 100, 100],
+            [333, 333, 334],
+            [1, 999],
+            [250, 250, 250, 250, 1],
+            [7] * 13,
+            [0, 50, 0, 50],
+        ):
+            for want in (0, 1, 7, 100, 777):
+                out = apportion_sample(want, counts)
+                assert sum(out) == min(want, sum(counts))
+                assert all(0 <= o <= c for o, c in zip(out, counts))
+
+    def test_apportion_rounding_regression(self):
+        from repro.core.pclouds import apportion_sample
+
+        # 5 ranks × 150 rows, sample 100: round(100*150/750)=20 each is
+        # fine, but 7 ranks × 107 rows, sample 500 used to give
+        # 7*round(500*107/749)=7*71=497 — three records short
+        out = apportion_sample(500, [107] * 7)
+        assert sum(out) == 500
+
+    def test_apportion_deterministic(self):
+        from repro.core.pclouds import apportion_sample
+
+        a = apportion_sample(123, [50, 60, 70, 80])
+        b = apportion_sample(123, [50, 60, 70, 80])
+        assert a == b
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_global_sample_size_exact_in_program(self, data, p):
+        from repro.core.pclouds import _root_preprocess
+
+        cols, labels = data
+        schema = quest_schema()
+        cluster = make_cluster(p)
+        ds = DistributedDataset.create(cluster, schema, cols, labels, seed=3)
+
+        def prog(ctx, columnsets):
+            _, sample_labels, counts = _root_preprocess(
+                ctx, columnsets[ctx.rank], schema, 777, len(labels), 5
+            )
+            return len(sample_labels), int(counts.sum())
+
+        run = cluster.run(prog, ds.columnsets, contexts=ds.contexts)
+        for n_sample, n_counted in run.results:
+            assert n_sample == 777  # exactly, for every (p, n_total)
+            assert n_counted == len(labels)
+
+
 class TestMixedParallelism:
     def test_small_tasks_appear_below_switch(self, data):
         cols, labels = data

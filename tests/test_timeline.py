@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.bench.timeline import render_phase_bars, render_rank_bars
+from repro.bench.timeline import (
+    render_comm_phase_bars,
+    render_phase_bars,
+    render_rank_bars,
+)
 
 
 def test_phase_bars_scale_to_longest():
@@ -50,6 +54,45 @@ def test_partial_blocks_render():
 def test_zero_values_render_empty_bars():
     text = render_rank_bars([0.0, 0.0], width=10)
     assert "█" not in text
+
+
+def test_phase_bars_custom_unit():
+    text = render_phase_bars([{"comm": 1024.0}], width=8, unit="B")
+    assert "1024.00B" in text
+
+
+def test_comm_phase_bars_from_tracers():
+    from repro.cluster.trace import Tracer
+
+    t0, t1 = Tracer(rank=0), Tracer(rank=1)
+    t0.record("allreduce", 8, 0.0, 1.0, sent=8, received=8, phase="stats")
+    t0.record("alltoall", 64, 1.0, 2.0, sent=64, received=64, phase="partition")
+    t0.record("write", 100, 2.0, 3.0, kind="disk", sent=100)  # not comm
+    t1.record("allreduce", 8, 0.0, 1.0, sent=8, received=8, phase="stats")
+    text = render_comm_phase_bars([t0, t1], width=10)
+    assert "stats" in text and "partition" in text
+    assert "128.00B" in text  # alltoall sent+received, disk excluded
+
+
+def test_comm_phase_bars_untraced():
+    assert "no phases" in render_comm_phase_bars([])
+
+
+def test_traced_run_comm_bars_render(schema, quest_small):
+    from repro.clouds import CloudsConfig
+    from repro.core import DistributedDataset, PClouds, PCloudsConfig
+
+    from conftest import make_cluster
+
+    cols, labels = quest_small
+    cluster = make_cluster(2)
+    ds = DistributedDataset.create(cluster, schema, cols, labels, seed=1)
+    res = PClouds(
+        PCloudsConfig(clouds=CloudsConfig(q_root=40, sample_size=300, min_node=32))
+    ).fit(ds, trace=True)
+    text = render_comm_phase_bars(res.tracers)
+    for phase in ("preprocess", "stats", "partition"):
+        assert phase in text
 
 
 def test_real_run_phase_times_render(schema, quest_small):
