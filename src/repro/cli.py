@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands cover the workflows the paper's users would run::
+Six subcommands cover the workflows the paper's users would run::
 
     repro generate --records 50000 --function 2 --out data.npz
     repro train data.npz --builder pclouds --ranks 8 --tree-out tree.json
     repro evaluate tree.json data.npz
     repro speedup --records 18000 --ranks 1 2 4 8
     repro trace --records 4000 --ranks 4 --out trace.json
+    repro chaos --records 4000 --ranks 4 --seeds 0 1 2
 
 Datasets travel as ``.npz`` archives (one array per attribute column plus
 ``labels``); trees as the JSON wire format of
@@ -215,6 +216,63 @@ def cmd_speedup(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Sweep the standard fault plans: does every chaos run survive, and
+    does the recovered tree match the fault-free one bit for bit?"""
+    from repro.cluster import SpmdProgramError, standard_plans
+    from repro.data import generate_quest
+
+    def build(seed: int, plan=None):
+        net, disk, compute = scaled_models(args.scale)
+        cluster = Cluster(
+            args.ranks, network=net, disk=disk, compute=compute, seed=seed
+        )
+        columns, labels = generate_quest(args.records, function=2, seed=seed)
+        dataset = DistributedDataset.create(
+            cluster, quest_schema(), columns, labels, seed=seed + 1
+        )
+        return PClouds().fit(
+            dataset, seed=seed + 2, faults=plan, recover=plan is not None
+        )
+
+    rows = []
+    all_ok = True
+    for seed in args.seeds:
+        baseline = build(seed).tree.to_dict()
+        for plan in standard_plans(args.ranks):
+            try:
+                res = build(seed, plan)
+            except SpmdProgramError:
+                rows.append([plan.name, seed, "-", "-", "no", "no"])
+                all_ok = False
+                continue
+            recovered = res.tree.to_dict() == baseline
+            all_ok &= recovered
+            rows.append(
+                [
+                    plan.name,
+                    seed,
+                    res.n_restarts,
+                    len(res.fault_events),
+                    "yes",
+                    "yes" if recovered else "NO",
+                ]
+            )
+    print(
+        format_table(
+            ["plan", "seed", "restarts", "faults", "survived", "recovered"],
+            rows,
+            title=f"chaos sweep: {args.records:,} records on {args.ranks} ranks",
+        )
+    )
+    print(
+        "all plans recovered bit-identical trees"
+        if all_ok
+        else "FAILURE: some plans did not recover"
+    )
+    return 0 if all_ok else 1
+
+
 # -- parser ---------------------------------------------------------------------
 
 
@@ -278,6 +336,16 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--scale", type=float, default=200.0)
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(func=cmd_speedup)
+
+    c = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: crash/corrupt/slow ranks, verify recovery",
+    )
+    c.add_argument("--records", type=int, default=4000)
+    c.add_argument("--ranks", type=int, default=4)
+    c.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    c.add_argument("--scale", type=float, default=200.0, help="cost-model scale")
+    c.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -15,7 +15,18 @@ from .errors import (
     ClusterError,
     CommMismatchError,
     DeadlockError,
+    InjectedFault,
     SpmdProgramError,
+)
+from .faults import (
+    CorruptChunk,
+    CrashAtCollective,
+    CrashAtPhase,
+    FaultInjector,
+    FaultPlan,
+    SlowRank,
+    TransientDiskFaults,
+    standard_plans,
 )
 from .machine import Cluster, RankContext, SpmdRun
 from .network import NetworkModel
@@ -31,10 +42,18 @@ __all__ = [
     "Request",
     "CommMismatchError",
     "ComputeModel",
+    "CorruptChunk",
+    "CrashAtCollective",
+    "CrashAtPhase",
     "DeadlockError",
     "DiskModel",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
     "NetworkModel",
     "PhaseTimer",
+    "SlowRank",
+    "TransientDiskFaults",
     "RankContext",
     "RankStats",
     "RunStats",
@@ -47,6 +66,7 @@ __all__ = [
     "assert_schedules_match",
     "attach_tracers",
     "payload_nbytes",
+    "standard_plans",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

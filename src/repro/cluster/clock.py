@@ -18,12 +18,17 @@ class SimClock:
     """Monotonic simulated time for one rank, in seconds."""
 
     now: float = 0.0
+    #: local-work time multiplier. 1.0 is nominal speed; the fault
+    #: injector raises it to model a straggler node — every locally
+    #: charged second then costs ``rate`` simulated seconds, while
+    #: synchronisation to absolute times (``advance_to``) is unaffected.
+    rate: float = 1.0
 
     def advance(self, dt: float) -> float:
         """Move the clock forward by ``dt`` seconds and return the new time."""
         if dt < 0:
             raise ValueError(f"cannot advance clock by negative dt={dt}")
-        self.now += dt
+        self.now += dt * self.rate
         return self.now
 
     def advance_to(self, t: float) -> float:
@@ -52,6 +57,9 @@ class PhaseTimer:
     _started_at: float = 0.0
     #: optional event sink with a ``record_phase(name, t0, t1)`` method.
     tracer: object | None = None
+    #: optional hook called with the phase name on every :meth:`start` —
+    #: the fault injector uses it to kill a rank at a named phase.
+    on_start: object | None = None
 
     @property
     def current(self) -> str | None:
@@ -60,6 +68,8 @@ class PhaseTimer:
 
     def start(self, phase: str) -> None:
         """Begin attributing time to ``phase`` (closing any open phase)."""
+        if self.on_start is not None:
+            self.on_start(phase)
         if self._open is not None:
             self.stop()
         self._open = phase

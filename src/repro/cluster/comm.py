@@ -65,6 +65,12 @@ def payload_nbytes(obj: Any) -> int:
     return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 
+#: sentinel pushed into every pending mailbox on abort, so ranks blocked
+#: in ``recv``/``Request.wait`` fail within milliseconds instead of
+#: sitting out the full wall-clock timeout.
+_ABORT = object()
+
+
 _REDUCERS: dict[str, Callable[[Any, Any], Any]] = {
     "sum": lambda a, b: a + b,
     "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
@@ -105,6 +111,10 @@ class CommWorld:
             q = self._mailboxes.get(key)
             if q is None:
                 q = self._mailboxes[key] = queue.SimpleQueue()
+                if self.aborted:
+                    # a receiver opening a mailbox after the abort must
+                    # not block waiting for a message that will never come
+                    q.put(_ABORT)
             return q
 
     def register_child(self, child: "CommWorld") -> None:
@@ -113,9 +123,31 @@ class CommWorld:
         with self._children_lock:
             self._children.append(child)
 
+    def reset(self) -> None:
+        """Return an aborted world to service so the same contexts can run
+        another SPMD program (checkpoint/restart). Only valid between runs
+        — no rank thread may be inside a primitive. Pending messages and
+        sub-worlds of the failed run are discarded."""
+        self.aborted = False
+        self.barrier.reset()
+        self.slots = [None] * self.size
+        self.opnames = [None] * self.size
+        self.clocks_in = [0.0] * self.size
+        with self._mailbox_lock:
+            self._mailboxes.clear()
+        with self._children_lock:
+            self._children.clear()
+
     def abort(self) -> None:
         self.aborted = True
         self.barrier.abort()
+        # wake ranks blocked in recv/Request.wait: push an abort sentinel
+        # into every pending mailbox (queues created later get theirs in
+        # :meth:`mailbox`)
+        with self._mailbox_lock:
+            queues = list(self._mailboxes.values())
+        for q in queues:
+            q.put(_ABORT)
         with self._children_lock:
             children = list(self._children)
         for child in children:
@@ -375,13 +407,16 @@ class Comm:
             raise ValueError(f"bad source rank {src}")
         q = self._world.mailbox(src, self.rank, tag)
         try:
-            obj, arrival = q.get(timeout=self._world.timeout)
+            item = q.get(timeout=self._world.timeout)
         except queue.Empty:
             if self._world.aborted:
                 raise ClusterAborted(f"rank {self.rank}: peer failure") from None
             raise DeadlockError(
                 f"rank {self.rank}: recv(src={src}, tag={tag}) timed out"
             ) from None
+        if item is _ABORT:
+            raise ClusterAborted(f"rank {self.rank}: peer failure") from None
+        obj, arrival = item
         if arrival > self._ctx.clock.now:
             self._ctx.stats.idle_time += arrival - self._ctx.clock.now
             self._ctx.clock.advance_to(arrival)

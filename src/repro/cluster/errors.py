@@ -25,6 +25,15 @@ class ClusterAborted(ClusterError):
     """Raised inside surviving ranks when a peer rank has failed."""
 
 
+class InjectedFault(ClusterError):
+    """A deterministic, planned rank kill (:mod:`repro.cluster.faults`).
+
+    Raised inside the victim rank's program; surfaces to the caller as
+    the ``cause`` of a :class:`SpmdProgramError`, so recovery drivers can
+    distinguish an injected crash from a genuine program bug.
+    """
+
+
 class CommMismatchError(ClusterError):
     """Ranks disagreed on the collective being executed.
 

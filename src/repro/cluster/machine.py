@@ -156,7 +156,18 @@ class Cluster:
         ``contexts`` reuses machine state from :meth:`make_contexts`
         (disks keep their files); by default clocks restart at zero so the
         run's elapsed time measures only this program.
+
+        Resource ownership: contexts created *by this call* are torn down
+        before it returns — storage backends closed, phase timers stopped —
+        whether the program succeeded or raised. Caller-provided contexts
+        stay open (the caller owns their disks, e.g. a
+        :class:`~repro.core.dataset.DistributedDataset` running several
+        programs against the same machine state); only their timers are
+        stopped. A program whose results must outlive the run (returned
+        ``OocArray`` handles, pre-loaded fragments) must therefore pass its
+        own contexts.
         """
+        owns_contexts = contexts is None
         ctxs = contexts if contexts is not None else self.make_contexts()
         if len(ctxs) != self.n_ranks:
             raise ValueError("context list does not match cluster size")
@@ -164,6 +175,9 @@ class Cluster:
             for c in ctxs:
                 c.clock.now = 0.0
         world = ctxs[0].comm._world
+        if world.aborted:
+            # reused contexts whose previous run failed (checkpoint/restart)
+            world.reset()
         results: list[Any] = [None] * self.n_ranks
         failures: list[tuple[int, BaseException]] = []
         failure_lock = threading.Lock()
@@ -178,29 +192,38 @@ class Cluster:
                     failures.append((ctx.rank, exc))
                 world.abort()
 
-        if self.n_ranks == 1:
-            runner(ctxs[0])
-        else:
-            threads = [
-                threading.Thread(
-                    target=runner, args=(c,), name=f"rank-{c.rank}", daemon=True
-                )
-                for c in ctxs
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
+        try:
+            if self.n_ranks == 1:
+                runner(ctxs[0])
+            else:
+                threads = [
+                    threading.Thread(
+                        target=runner, args=(c,), name=f"rank-{c.rank}", daemon=True
+                    )
+                    for c in ctxs
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
 
-        if failures:
-            rank, exc = min(failures, key=lambda f: f[0])
-            raise SpmdProgramError(rank, exc) from exc
+            if failures:
+                rank, exc = min(failures, key=lambda f: f[0])
+                raise SpmdProgramError(rank, exc) from exc
 
-        for c in ctxs:
-            c.timer.stop()
-        return SpmdRun(
-            results=results,
-            elapsed=max(c.clock.now for c in ctxs),
-            stats=RunStats(per_rank=[c.stats for c in ctxs]),
-            phase_times=[c.timer.snapshot() for c in ctxs],
-        )
+            for c in ctxs:
+                c.timer.stop()
+            return SpmdRun(
+                results=results,
+                elapsed=max(c.clock.now for c in ctxs),
+                stats=RunStats(per_rank=[c.stats for c in ctxs]),
+                phase_times=[c.timer.snapshot() for c in ctxs],
+            )
+        finally:
+            # failed or not: close any still-open phase so attributed time
+            # is complete, and tear down run-owned storage backends
+            for c in ctxs:
+                c.timer.stop()
+            if owns_contexts:
+                for c in ctxs:
+                    c.disk.close()

@@ -23,6 +23,7 @@ class RankStats:
     bytes_read: int = 0
     bytes_written: int = 0
     io_calls: int = 0
+    io_retries: int = 0  # transient-disk-error retries (backoff charged)
 
     bytes_sent: int = 0
     bytes_received: int = 0

@@ -61,7 +61,7 @@ class TraceEvent:
     nbytes: int  # payload size this rank moved (max of sent/received)
     t_start: float
     t_end: float
-    kind: str = "comm"  # "comm" | "disk" | "phase"
+    kind: str = "comm"  # "comm" | "disk" | "phase" | "fault"
     phase: str | None = None  # PhaseTimer phase open when the event happened
     comm: str | None = None  # communicator label ("world", "world/0,1", ...)
     sent: int = 0  # bytes this rank sent (comm) / wrote (disk)
@@ -139,12 +139,20 @@ class Tracer:
     def record_phase(self, name: str, t_start: float, t_end: float) -> None:
         self.record(name, 0, t_start, t_end, kind="phase", phase=name)
 
+    def record_fault(self, op: str, t: float) -> None:
+        """One injected fault (:mod:`repro.cluster.faults`) firing at
+        simulated time ``t`` on this rank."""
+        self.record(op, 0, t, t, kind="fault")
+
     # -- views ---------------------------------------------------------------
     def comm_events(self) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == "comm"]
 
     def disk_events(self) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == "disk"]
+
+    def fault_events(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "fault"]
 
     def phase_events(self) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == "phase"]

@@ -3,6 +3,7 @@ tree classifier built with mixed parallelism."""
 
 from .access import InCoreAccess, NodeAccess, StreamingAccess, open_node
 from .alive import assign_by_cost, evaluate_alive_parallel
+from .checkpoint import CheckpointStore
 from .config import PCloudsConfig
 from .dataset import DistributedDataset
 from .evaluate import ParallelEvaluation, parallel_evaluate
@@ -12,6 +13,7 @@ from .stats_exchange import attribute_owner, exchange_node_stats
 from .switching import auto_q_switch, break_even_node_size
 
 __all__ = [
+    "CheckpointStore",
     "DistributedDataset",
     "InCoreAccess",
     "NodeAccess",

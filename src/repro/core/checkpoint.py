@@ -1,0 +1,83 @@
+"""Checkpointing of pCLOUDS build state to rank-0's simulated disk.
+
+The recovery unit is one frontier level: after every level of the
+breadth-first build (and once more before the deferred small-task
+phase), rank 0 serialises the full build state — open nodes, class
+counts, sample points, and every rank's partition fragments — into a
+single blob written through its :class:`~repro.ooc.disk.LocalDisk`, so
+the checkpoint traffic is charged to the simulated clock like any other
+disk access and rides the same CRC32/retry integrity layer as data
+chunks.
+
+A :class:`CheckpointStore` keeps the handle list host-side (the
+simulated machine has no filesystem metadata model) and restores the
+*latest readable* checkpoint: a corrupted blob is skipped and the next
+older one used, so corruption of the checkpoint itself degrades recovery
+granularity instead of killing it.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ooc.backend import ChunkCorruptionError
+
+
+@dataclass
+class _Entry:
+    label: str
+    handle: object
+    nbytes: int
+    crc: int
+
+
+@dataclass
+class CheckpointStore:
+    """Ordered log of build-state checkpoints on one rank's disk."""
+
+    _entries: list[_Entry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def labels(self) -> list[str]:
+        return [e.label for e in self._entries]
+
+    def save(self, disk, label: str, state: object) -> int:
+        """Serialise ``state`` and write it as one chunk on ``disk``.
+
+        Returns the blob size in bytes. The write is charged to the
+        simulated clock; a transient backend error is retried by the
+        disk with charged backoff.
+        """
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        arr = np.frombuffer(blob, dtype=np.uint8)
+        disk.charge_write(arr.nbytes)
+        handle, crc = disk.store_chunk(arr)
+        self._entries.append(_Entry(label, handle, arr.nbytes, crc))
+        return arr.nbytes
+
+    def load_latest(self, disk) -> tuple[str, object] | None:
+        """Read back the newest checkpoint that passes its CRC.
+
+        Returns ``(label, state)``, or ``None`` when no checkpoint is
+        readable (the caller restarts from scratch). Corrupted entries
+        are dropped from the log so they are not re-tried next time.
+        """
+        while self._entries:
+            entry = self._entries[-1]
+            disk.charge_read(entry.nbytes)
+            try:
+                arr = disk.fetch_chunk(entry.handle, entry.nbytes, entry.crc)
+            except ChunkCorruptionError:
+                self._entries.pop()
+                continue
+            return entry.label, pickle.loads(arr.tobytes())
+        return None
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -23,11 +23,11 @@ fragments differ.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cluster.errors import SpmdProgramError
 from repro.cluster.machine import Cluster, RankContext, SpmdRun
 from repro.clouds.builder import node_boundaries
 from repro.clouds.gini import gini_from_counts
@@ -39,6 +39,7 @@ from repro.ooc.columnset import ColumnSet
 
 from .access import open_node
 from .alive import evaluate_alive_parallel
+from .checkpoint import CheckpointStore
 from .config import PCloudsConfig
 from .dataset import DistributedDataset
 from .small_tasks import SmallTask, process_small_tasks
@@ -70,6 +71,10 @@ class PCloudsResult:
     survival_ratios: list[float] = field(default_factory=list)
     #: per-rank event streams when the fit ran with ``trace=True``
     tracers: list | None = None
+    #: failed attempts replayed from checkpoints (``fit(recover=True)``)
+    n_restarts: int = 0
+    #: faults fired by the injector, in firing order (``fit(faults=...)``)
+    fault_events: list = field(default_factory=list)
 
     def trace_report(self):
         """Roll-up of the traced run (requires ``fit(..., trace=True)``)."""
@@ -96,7 +101,14 @@ class PClouds:
         self.config = config or PCloudsConfig()
 
     def fit(
-        self, dataset: DistributedDataset, seed: int = 0, *, trace: bool = False
+        self,
+        dataset: DistributedDataset,
+        seed: int = 0,
+        *,
+        trace: bool = False,
+        faults=None,
+        recover: bool = False,
+        max_restarts: int = 8,
     ) -> PCloudsResult:
         """Build the decision tree for a distributed training set.
 
@@ -108,22 +120,64 @@ class PClouds:
         (collectives, point-to-point, disk accesses, phases); the event
         streams land on :attr:`PCloudsResult.tracers` and roll up via
         :meth:`PCloudsResult.trace_report`.
+
+        ``faults`` arms deterministic fault injection: a
+        :class:`~repro.cluster.faults.FaultPlan` (or pre-built
+        :class:`~repro.cluster.faults.FaultInjector`) whose crashes,
+        transient disk errors, chunk corruptions and stragglers replay
+        identically for a given ``(plan, seed)``. Fired faults land on
+        :attr:`PCloudsResult.fault_events` and — when also tracing — in
+        the trace as ``fault`` events.
+
+        ``recover=True`` checkpoints the build state to rank-0's disk at
+        every frontier level and, when an attempt dies with
+        :class:`~repro.cluster.errors.SpmdProgramError`, restarts from
+        the latest readable checkpoint (up to ``max_restarts`` times).
+        The recovered tree is bit-identical to the fault-free tree; the
+        reported ``elapsed`` includes the simulated time lost to the
+        failed attempts and to checkpoint traffic.
         """
         tracers = None
         if trace:
             from repro.cluster.trace import attach_tracers
 
             tracers = attach_tracers(dataset.contexts)
-        run = dataset.cluster.run(
-            _fit_program,
-            dataset.columnsets,
-            dataset.schema,
-            self.config,
-            dataset.n_total,
-            seed,
-            contexts=dataset.contexts,
-            reset_clocks=True,
-        )
+        injector = None
+        if faults is not None:
+            from repro.cluster.faults import FaultInjector
+
+            injector = (
+                faults
+                if isinstance(faults, FaultInjector)
+                else FaultInjector(faults, seed=seed)
+            )
+            injector.attach(dataset.contexts)
+        store = CheckpointStore() if recover else None
+        failed_time = 0.0
+        restarts = 0
+        while True:
+            if injector is not None:
+                injector.begin_attempt()
+            try:
+                run = dataset.cluster.run(
+                    _fit_program,
+                    dataset.columnsets,
+                    dataset.schema,
+                    self.config,
+                    dataset.n_total,
+                    seed,
+                    store,
+                    restarts > 0,
+                    contexts=dataset.contexts,
+                    reset_clocks=True,
+                )
+                break
+            except SpmdProgramError:
+                # time already burned by the dead attempt counts
+                failed_time += max(c.clock.now for c in dataset.contexts)
+                restarts += 1
+                if not recover or restarts > max_restarts:
+                    raise
         payload = run.results[0]
         tree = DecisionTree(
             root=payload["root"],
@@ -132,12 +186,14 @@ class PClouds:
         )
         return PCloudsResult(
             tree=tree,
-            elapsed=run.elapsed,
+            elapsed=run.elapsed + failed_time,
             run=run,
             n_large_nodes=payload["n_large"],
             n_small_tasks=payload["n_small"],
             survival_ratios=payload["survival"],
             tracers=tracers,
+            n_restarts=restarts,
+            fault_events=list(injector.events) if injector is not None else [],
         )
 
 
@@ -227,6 +283,124 @@ def _root_preprocess(
     return sample_cols, sample_labels, total
 
 
+#: chunk granularity for fragments rebuilt from a checkpoint (only the
+#: disk-access pattern depends on it — never the tree)
+_RESTORE_BATCH_ROWS = 8192
+
+
+def _save_checkpoint(
+    ctx: RankContext,
+    store: CheckpointStore,
+    label: str,
+    level: int,
+    frontier: list[_LargeTask],
+    small: list[SmallTask],
+    nodes: dict[int, dict],
+    survival: list[float],
+    n_large: int,
+) -> None:
+    """Checkpoint the full build state to rank-0's disk (one collective).
+
+    Every rank reads its local fragments back (charged, CRC-verified —
+    corruption written in the previous level is caught *here* rather than
+    poisoning the checkpoint) and gathers them at rank 0, which persists
+    one blob. Replicated state (sample points, class counts, finished
+    nodes) is stored once, from rank 0's copy.
+    """
+    ctx.timer.start("checkpoint")
+    local = {
+        "frontier": [t.columnset.read_all() for t in frontier],
+        "small": [s.columnset.read_all() for s in small],
+    }
+    gathered = ctx.comm.gather(local, root=0)
+    if ctx.rank == 0:
+        shared = {
+            "level": level,
+            "nodes": nodes,
+            "survival": list(survival),
+            "n_large": n_large,
+            "frontier": [
+                {
+                    "node_id": t.node_id,
+                    "depth": t.depth,
+                    "counts": t.counts,
+                    "sample_cols": t.sample_cols,
+                    "sample_labels": t.sample_labels,
+                }
+                for t in frontier
+            ],
+            "small": [
+                {
+                    "node_id": s.node_id,
+                    "depth": s.depth,
+                    "n_global": s.n_global,
+                    "class_counts": s.class_counts,
+                }
+                for s in small
+            ],
+        }
+        # pickled immediately, so later mutation of nodes/survival on
+        # rank 0 cannot leak into the snapshot
+        store.save(ctx.disk, label, {"shared": shared, "per_rank": gathered})
+
+
+def _restore_checkpoint(
+    ctx: RankContext, store: CheckpointStore, schema: Schema
+) -> tuple[dict, list[_LargeTask], list[SmallTask]] | None:
+    """Rebuild the build state from the latest readable checkpoint.
+
+    Collective: rank 0 loads the blob, broadcasts the replicated state
+    and scatters each rank its fragments, which are rewritten to the
+    local disks as fresh chunks. Returns ``None`` when no checkpoint is
+    readable — the caller restarts from scratch (the initial fragments
+    are only consumed after the first checkpoint exists, so a from-zero
+    restart always finds them intact).
+    """
+    loaded = store.load_latest(ctx.disk) if ctx.rank == 0 else None
+    shared = ctx.comm.bcast(loaded[1]["shared"] if loaded is not None else None, root=0)
+    if shared is None:
+        return None
+    frags = ctx.comm.scatter(
+        loaded[1]["per_rank"] if ctx.rank == 0 else None, root=0
+    )
+    frontier = [
+        _LargeTask(
+            node_id=meta["node_id"],
+            depth=meta["depth"],
+            columnset=ColumnSet.from_arrays(
+                ctx.disk,
+                schema,
+                cols,
+                labels,
+                name=f"r{ctx.rank}/ckpt-node{meta['node_id']}",
+                batch_rows=_RESTORE_BATCH_ROWS,
+            ),
+            sample_cols=meta["sample_cols"],
+            sample_labels=meta["sample_labels"],
+            counts=meta["counts"],
+        )
+        for meta, (cols, labels) in zip(shared["frontier"], frags["frontier"])
+    ]
+    small = [
+        SmallTask(
+            node_id=meta["node_id"],
+            depth=meta["depth"],
+            n_global=meta["n_global"],
+            class_counts=meta["class_counts"],
+            columnset=ColumnSet.from_arrays(
+                ctx.disk,
+                schema,
+                cols,
+                labels,
+                name=f"r{ctx.rank}/ckpt-small{meta['node_id']}",
+                batch_rows=_RESTORE_BATCH_ROWS,
+            ),
+        )
+        for meta, (cols, labels) in zip(shared["small"], frags["small"])
+    ]
+    return shared, frontier, small
+
+
 def _fit_program(
     ctx: RankContext,
     columnsets: list[ColumnSet],
@@ -234,6 +408,8 @@ def _fit_program(
     config: PCloudsConfig,
     n_total: int,
     seed: int,
+    store: CheckpointStore | None = None,
+    resume: bool = False,
 ) -> dict | None:
     cfg = config.clouds
     stopping = cfg.stopping()
@@ -247,13 +423,30 @@ def _fit_program(
         else config.q_switch
     )
 
-    ctx.timer.start("preprocess")
-    sample_cols, sample_labels, root_counts = _root_preprocess(
-        ctx, cs, schema, cfg.sample_size, n_total, seed
-    )
-
-    queue: deque[_LargeTask] = deque(
-        [
+    nodes: dict[int, dict] = {}
+    small: list[SmallTask] = []
+    survival: list[float] = []
+    n_large = 0
+    level = 0
+    restored = None
+    if resume and store is not None:
+        ctx.timer.start("recover")
+        restored = _restore_checkpoint(ctx, store, schema)
+    if restored is not None:
+        shared, frontier, small = restored
+        # broadcast passes objects by reference between the rank threads:
+        # copy the containers each rank will mutate (their values stay
+        # shared and are treated as read-only by the build)
+        nodes = dict(shared["nodes"])
+        survival = list(shared["survival"])
+        n_large = int(shared["n_large"])
+        level = int(shared["level"])
+    else:
+        ctx.timer.start("preprocess")
+        sample_cols, sample_labels, root_counts = _root_preprocess(
+            ctx, cs, schema, cfg.sample_size, n_total, seed
+        )
+        frontier = [
             _LargeTask(
                 node_id=0,
                 depth=0,
@@ -263,69 +456,88 @@ def _fit_program(
                 counts=root_counts,
             )
         ]
-    )
-    nodes: dict[int, dict] = {}
-    small: list[SmallTask] = []
-    survival: list[float] = []
-    n_large = 0
 
-    while queue:
-        t = queue.popleft()
-        n = int(t.counts.sum())
+    # breadth-first over frontier levels: the same visit order as a FIFO
+    # queue, but with a level boundary where the build state is compact
+    # enough to checkpoint
+    while frontier:
+        if store is not None:
+            _save_checkpoint(
+                ctx, store, f"level-{level}", level,
+                frontier, small, nodes, survival, n_large,
+            )
+        next_frontier: list[_LargeTask] = []
+        for t in frontier:
+            n = int(t.counts.sum())
 
-        if stopping.is_leaf(t.counts, t.depth):
-            nodes[t.node_id] = {"kind": "leaf", "counts": t.counts, "depth": t.depth}
-            t.columnset.delete()
-            continue
+            if stopping.is_leaf(t.counts, t.depth):
+                nodes[t.node_id] = {
+                    "kind": "leaf", "counts": t.counts, "depth": t.depth
+                }
+                t.columnset.delete()
+                continue
 
-        q = scale_q(cfg.q_root, n, n_total)
-        if q <= q_switch:
-            nodes[t.node_id] = {"kind": "small", "counts": t.counts, "depth": t.depth}
-            small.append(
-                SmallTask(
-                    node_id=t.node_id,
-                    depth=t.depth,
-                    n_global=n,
-                    class_counts=t.counts,
-                    columnset=t.columnset,
+            q = scale_q(cfg.q_root, n, n_total)
+            if q <= q_switch:
+                nodes[t.node_id] = {
+                    "kind": "small", "counts": t.counts, "depth": t.depth
+                }
+                small.append(
+                    SmallTask(
+                        node_id=t.node_id,
+                        depth=t.depth,
+                        n_global=n,
+                        class_counts=t.counts,
+                        columnset=t.columnset,
+                    )
+                )
+                continue
+
+            n_large += 1
+            split, left_counts, ratio, left_cs, right_cs = _process_large_node(
+                ctx, t, schema, config, q
+            )
+            survival.append(ratio)
+            if split is None:
+                nodes[t.node_id] = {
+                    "kind": "leaf", "counts": t.counts, "depth": t.depth
+                }
+                continue
+            nodes[t.node_id] = {
+                "kind": "internal",
+                "split": split,
+                "counts": t.counts,
+                "depth": t.depth,
+            }
+            smask = split.goes_left(t.sample_cols[split.attribute])
+            next_frontier.append(
+                _LargeTask(
+                    node_id=2 * t.node_id + 1,
+                    depth=t.depth + 1,
+                    columnset=left_cs,
+                    sample_cols={k: v[smask] for k, v in t.sample_cols.items()},
+                    sample_labels=t.sample_labels[smask],
+                    counts=left_counts,
                 )
             )
-            continue
+            next_frontier.append(
+                _LargeTask(
+                    node_id=2 * t.node_id + 2,
+                    depth=t.depth + 1,
+                    columnset=right_cs,
+                    sample_cols={k: v[~smask] for k, v in t.sample_cols.items()},
+                    sample_labels=t.sample_labels[~smask],
+                    counts=t.counts - left_counts,
+                )
+            )
+        frontier = next_frontier
+        level += 1
 
-        n_large += 1
-        split, left_counts, ratio, left_cs, right_cs = _process_large_node(
-            ctx, t, schema, config, q
-        )
-        survival.append(ratio)
-        if split is None:
-            nodes[t.node_id] = {"kind": "leaf", "counts": t.counts, "depth": t.depth}
-            continue
-        nodes[t.node_id] = {
-            "kind": "internal",
-            "split": split,
-            "counts": t.counts,
-            "depth": t.depth,
-        }
-        smask = split.goes_left(t.sample_cols[split.attribute])
-        queue.append(
-            _LargeTask(
-                node_id=2 * t.node_id + 1,
-                depth=t.depth + 1,
-                columnset=left_cs,
-                sample_cols={k: v[smask] for k, v in t.sample_cols.items()},
-                sample_labels=t.sample_labels[smask],
-                counts=left_counts,
-            )
-        )
-        queue.append(
-            _LargeTask(
-                node_id=2 * t.node_id + 2,
-                depth=t.depth + 1,
-                columnset=right_cs,
-                sample_cols={k: v[~smask] for k, v in t.sample_cols.items()},
-                sample_labels=t.sample_labels[~smask],
-                counts=t.counts - left_counts,
-            )
+    # one last checkpoint so a crash in the small-node phase does not
+    # rewind into the frontier levels
+    if store is not None:
+        _save_checkpoint(
+            ctx, store, "small", level, [], small, nodes, survival, n_large
         )
 
     # delayed task parallelism for the accumulated small nodes

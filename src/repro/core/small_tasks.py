@@ -22,6 +22,7 @@ from repro.clouds.direct import StoppingRule, build_subtree_direct
 from repro.clouds.tree import encode_node
 from repro.data.schema import Schema
 from repro.ooc.columnset import ColumnSet
+from repro.ooc.memory import MemoryExceededError
 
 from .alive import assign_by_cost
 from .config import PCloudsConfig
@@ -117,13 +118,18 @@ def process_small_tasks(
 
         def charge_node(n: int) -> None:
             # the direct method sorts every numeric attribute of the node;
-            # when the node exceeds the memory budget the build runs
-            # out-of-core and each node additionally streams its fragment
-            # (read) and rewrites the two children (write)
-            ctx.charge_sort(n * max(len(schema.numeric), 1))
-            if not ctx.memory.fits(n * row):
+            # a node that does not fit the memory budget runs out-of-core
+            # instead and additionally streams its fragment (read) and
+            # rewrites the two children (write)
+            try:
+                reservation = ctx.memory.reserve(n * row)
+            except MemoryExceededError:
+                ctx.charge_sort(n * max(len(schema.numeric), 1))
                 ctx.disk.charge_read(n * row)
                 ctx.disk.charge_write(n * row)
+            else:
+                with reservation:
+                    ctx.charge_sort(n * max(len(schema.numeric), 1))
 
         root = build_subtree_direct(
             schema,

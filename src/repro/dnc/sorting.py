@@ -162,8 +162,12 @@ def parallel_sample_sort(
             run_records = max(cluster.memory_limit // np.dtype(_DTYPE).itemsize, 64)
         else:
             run_records = max(len(values), 1)
+    # the sorted buckets stay disk-resident after the run, so the caller
+    # must own the contexts (run-owned backends are closed on return)
+    contexts = cluster.make_contexts()
     run = cluster.run(
-        _sort_program, fragments, oversample, run_records, batch, seed
+        _sort_program, fragments, oversample, run_records, batch, seed,
+        contexts=contexts,
     )
     outputs = [r[0] for r in run.results]
     return SampleSortResult(

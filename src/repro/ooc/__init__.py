@@ -2,7 +2,14 @@
 chunked, column-oriented files, plus the main-memory budget that decides
 when a node must be processed out-of-core."""
 
-from .backend import FileBackend, InMemoryBackend, StorageBackend
+from .backend import (
+    ChunkCorruptionError,
+    FileBackend,
+    InMemoryBackend,
+    StorageBackend,
+    TransientDiskError,
+    chunk_crc,
+)
 from .columnset import ColumnSet
 from .disk import LocalDisk
 from .extsort import external_sort, is_globally_sorted
@@ -10,10 +17,13 @@ from .file import OocArray
 from .memory import MemoryBudget, MemoryExceededError
 
 __all__ = [
+    "ChunkCorruptionError",
     "ColumnSet",
     "FileBackend",
     "InMemoryBackend",
     "LocalDisk",
+    "TransientDiskError",
+    "chunk_crc",
     "external_sort",
     "is_globally_sorted",
     "MemoryBudget",

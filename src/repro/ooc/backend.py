@@ -12,9 +12,28 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
+import zlib
 from abc import ABC, abstractmethod
 
 import numpy as np
+
+
+class TransientDiskError(IOError):
+    """A chunk access failed transiently (the IBM-SP2's occasional disk
+    hiccup). :class:`~repro.ooc.disk.LocalDisk` retries these with
+    bounded exponential backoff, charging the wait to the simulated
+    clock; only an access that keeps failing propagates."""
+
+
+class ChunkCorruptionError(IOError):
+    """A chunk came back with a CRC32 that does not match what was
+    written — silent corruption surfaced as a hard error instead of a
+    silently wrong tree. Not retried: the stored payload itself is bad."""
+
+
+def chunk_crc(arr: np.ndarray) -> int:
+    """CRC32 of a chunk's payload bytes (the per-chunk write checksum)."""
+    return zlib.crc32(memoryview(np.ascontiguousarray(arr)).cast("B"))
 
 
 class StorageBackend(ABC):
@@ -31,6 +50,14 @@ class StorageBackend(ABC):
     @abstractmethod
     def delete(self, handle: object) -> None:
         """Free one chunk."""
+
+    def overwrite(self, handle: object, arr: np.ndarray) -> None:
+        """Replace the payload under an existing handle in place.
+
+        Testing / fault-injection hook (bit-flip corruption); handles
+        stay valid. Optional — backends that cannot rewrite may raise.
+        """
+        raise NotImplementedError
 
     def close(self) -> None:
         """Release all backend resources (idempotent)."""
@@ -55,6 +82,11 @@ class InMemoryBackend(StorageBackend):
 
     def delete(self, handle: object) -> None:
         self._chunks.pop(handle, None)
+
+    def overwrite(self, handle: object, arr: np.ndarray) -> None:
+        if handle not in self._chunks:
+            raise KeyError(f"no chunk under handle {handle!r}")
+        self._chunks[handle] = np.array(arr, copy=True)
 
     def close(self) -> None:
         self._chunks.clear()
@@ -89,6 +121,9 @@ class FileBackend(StorageBackend):
             os.unlink(str(handle))
         except FileNotFoundError:
             pass
+
+    def overwrite(self, handle: object, arr: np.ndarray) -> None:
+        np.save(str(handle), arr, allow_pickle=False)
 
     def close(self) -> None:
         if self._owns_root:

@@ -4,6 +4,12 @@ An :class:`OocArray` is the unit of disk-resident data: one attribute
 column (or the label column) of one tree node's local fragment. Writers
 append numpy chunks; readers stream chunks back in order. Every access
 charges the owning disk.
+
+Integrity: every appended chunk is checksummed (CRC32) at write time and
+verified on every read, so silent corruption of a stored chunk surfaces
+as :class:`~repro.ooc.backend.ChunkCorruptionError` instead of silently
+changing the tree. Transient backend errors are retried by the disk with
+backoff charged to the simulated clock.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ class OocArray:
         self.name = name
         self._handles: list[object] = []
         self._lengths: list[int] = []
+        self._crcs: list[int] = []
         self._closed = False
 
     # -- properties -----------------------------------------------------------
@@ -48,24 +55,34 @@ class OocArray:
         if arr.size == 0:
             return
         self.disk.charge_write(arr.nbytes)
-        self._handles.append(self.disk.backend.put(arr))
+        handle, crc = self.disk.store_chunk(arr)
+        self._handles.append(handle)
         self._lengths.append(arr.size)
+        self._crcs.append(crc)
 
     # -- reading ----------------------------------------------------------------
     def iter_chunks(self) -> Iterator[np.ndarray]:
-        """Stream the file's chunks in order (one sequential read each)."""
+        """Stream the file's chunks in order (one sequential read each,
+        checksum-verified)."""
         self._check_open()
-        for handle, length in zip(self._handles, self._lengths):
-            self.disk.charge_read(length * self.dtype.itemsize)
-            yield self.disk.backend.get(handle)
+        for handle, length, crc in zip(self._handles, self._lengths, self._crcs):
+            nbytes = length * self.dtype.itemsize
+            self.disk.charge_read(nbytes)
+            yield self.disk.fetch_chunk(handle, nbytes, crc)
 
     def read_all(self) -> np.ndarray:
-        """Materialise the whole file in memory (one sequential scan)."""
+        """Materialise the whole file in memory (one sequential scan,
+        checksum-verified)."""
         self._check_open()
         if not self._handles:
             return np.empty(0, dtype=self.dtype)
         self.disk.charge_read(self.nbytes)
-        return np.concatenate([self.disk.backend.get(h) for h in self._handles])
+        return np.concatenate(
+            [
+                self.disk.fetch_chunk(h, n * self.dtype.itemsize, c)
+                for h, n, c in zip(self._handles, self._lengths, self._crcs)
+            ]
+        )
 
     # -- lifecycle ----------------------------------------------------------------
     def delete(self) -> None:
@@ -74,6 +91,7 @@ class OocArray:
             self.disk.backend.delete(h)
         self._handles.clear()
         self._lengths.clear()
+        self._crcs.clear()
         self._closed = True
 
     def _check_open(self) -> None:

@@ -1,6 +1,8 @@
 """Failure injection: the simulated machine must fail loudly, promptly
 and attributably — never hang, never corrupt another rank's results."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -66,6 +68,52 @@ class TestAbortPropagation:
         with pytest.raises(SpmdProgramError) as e:
             c.run(prog)
         assert e.value.rank == 0
+
+    def test_abort_wakes_rank_blocked_in_recv(self):
+        """A peer crash must release a blocked recv within milliseconds,
+        not after the full (here: 300 s) rendezvous timeout."""
+        c = make_cluster(3, timeout=300.0)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                raise RuntimeError("sender dies")
+            ctx.comm.recv(src=0)
+
+        t0 = time.monotonic()
+        with pytest.raises(SpmdProgramError) as e:
+            c.run(prog)
+        assert e.value.rank == 0
+        assert time.monotonic() - t0 < 5.0
+
+    def test_abort_wakes_rank_blocked_in_request_wait(self):
+        c = make_cluster(2, timeout=300.0)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                raise RuntimeError("sender dies")
+            ctx.comm.irecv(src=0).wait()
+
+        t0 = time.monotonic()
+        with pytest.raises(SpmdProgramError):
+            c.run(prog)
+        assert time.monotonic() - t0 < 5.0
+
+    def test_recv_after_abort_fails_immediately(self):
+        """A rank that opens its mailbox only after the abort happened
+        must still be released (the sentinel is pre-seeded)."""
+        c = make_cluster(2, timeout=300.0)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                raise RuntimeError("dies first")
+            # give the abort time to land before the first recv call
+            time.sleep(0.2)
+            ctx.comm.recv(src=0, tag=42)
+
+        t0 = time.monotonic()
+        with pytest.raises(SpmdProgramError):
+            c.run(prog)
+        assert time.monotonic() - t0 < 5.0
 
     def test_cluster_reusable_after_failure(self):
         c = make_cluster(2, timeout=10.0)

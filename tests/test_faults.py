@@ -1,0 +1,487 @@
+"""Deterministic fault injection, storage integrity, and
+checkpoint/restart recovery.
+
+The contract under test: every fault a :class:`FaultPlan` can express is
+reproducible from ``(seed, plan)``; silent chunk corruption is caught by
+the per-chunk CRC instead of changing the tree; transient disk errors
+are retried with backoff charged to the simulated clock; and a fit run
+with ``recover=True`` survives planned crashes and produces a tree
+bit-identical to the fault-free run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CorruptChunk,
+    CrashAtCollective,
+    CrashAtPhase,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    SlowRank,
+    SpmdProgramError,
+    TransientDiskFaults,
+    standard_plans,
+)
+from repro.core import CheckpointStore, DistributedDataset, PClouds
+from repro.data import generate_quest, quest_schema
+from repro.ooc import (
+    ChunkCorruptionError,
+    InMemoryBackend,
+    MemoryBudget,
+    MemoryExceededError,
+    OocArray,
+    TransientDiskError,
+)
+
+from conftest import make_cluster
+
+
+def make_dataset(p=4, n=2000, seed=0, **cluster_kwargs):
+    cluster = make_cluster(p, seed=seed, **cluster_kwargs)
+    columns, labels = generate_quest(n, function=2, seed=seed)
+    return DistributedDataset.create(
+        cluster, quest_schema(), columns, labels, seed=seed + 1
+    )
+
+
+def fit(dataset, seed=2, **kwargs):
+    return PClouds().fit(dataset, seed=seed, **kwargs)
+
+
+# -- the injector itself ------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_adhoc_fault_sequence_becomes_a_plan(self):
+        inj = FaultInjector([SlowRank(rank=0)])
+        assert isinstance(inj.plan, FaultPlan)
+        assert inj.plan.name == "adhoc"
+
+    def test_crash_fires_at_exact_collective_index(self):
+        c = make_cluster(2)
+        ctxs = c.make_contexts()
+        inj = FaultInjector(FaultPlan.of("x", CrashAtCollective(rank=1, nth=2)))
+        inj.attach(ctxs)
+        inj.begin_attempt()
+        progress = []
+
+        def prog(ctx):
+            for i in range(5):
+                ctx.comm.allreduce(1)
+                if ctx.rank == 1:
+                    progress.append(i)
+
+        with pytest.raises(SpmdProgramError) as e:
+            c.run(prog, contexts=ctxs)
+        assert e.value.rank == 1
+        assert isinstance(e.value.cause, InjectedFault)
+        # collectives #0 and #1 completed; the crash hit #2
+        assert progress == [0, 1]
+        assert inj.events[0]["rank"] == 1
+        assert "collective#2" in inj.events[0]["fault"]
+
+    def test_crash_is_one_shot_across_attempts(self):
+        c = make_cluster(2)
+        ctxs = c.make_contexts()
+        inj = FaultInjector(FaultPlan.of("x", CrashAtCollective(rank=0, nth=0)))
+        inj.attach(ctxs)
+
+        def prog(ctx):
+            return ctx.comm.allreduce(1)
+
+        inj.begin_attempt()
+        with pytest.raises(SpmdProgramError):
+            c.run(prog, contexts=ctxs)
+        inj.begin_attempt()  # counters reset; the fired fault stays spent
+        assert c.run(prog, contexts=ctxs).results == [2, 2]
+        assert inj.n_fired == 1
+        assert inj.attempts == 2
+
+    def test_crash_at_named_phase(self):
+        c = make_cluster(2)
+        ctxs = c.make_contexts()
+        inj = FaultInjector(FaultPlan.of("x", CrashAtPhase(rank=0, phase="work")))
+        inj.attach(ctxs)
+        inj.begin_attempt()
+
+        def prog(ctx):
+            ctx.timer.start("setup")
+            ctx.timer.start("work")
+
+        with pytest.raises(SpmdProgramError) as e:
+            c.run(prog, contexts=ctxs)
+        assert isinstance(e.value.cause, InjectedFault)
+        assert "work" in str(e.value.cause)
+
+    def test_slow_rank_scales_local_charges_only(self):
+        c = make_cluster(2)
+        ctxs = c.make_contexts()
+        inj = FaultInjector(FaultPlan.of("x", SlowRank(rank=1, factor=3.0)))
+        inj.attach(ctxs)
+        inj.begin_attempt()
+        assert ctxs[1].clock.rate == 3.0
+        assert ctxs[0].clock.rate == 1.0
+
+        def prog(ctx):
+            ctx.charge_compute(seconds=1.0)
+            return ctx.clock.now
+
+        out = c.run(prog, contexts=ctxs).results
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(3.0)
+
+    def test_attach_is_idempotent(self):
+        c = make_cluster(2)
+        ctxs = c.make_contexts()
+        inj = FaultInjector(FaultPlan.of("x"))
+        inj.attach(ctxs)
+        comm = ctxs[0].comm
+        inj.attach(ctxs)
+        assert ctxs[0].comm is comm
+
+
+# -- storage integrity --------------------------------------------------------
+
+
+class TestStorageIntegrity:
+    def test_crc_detects_tampered_chunk(self):
+        c = make_cluster(1)
+
+        def prog(ctx):
+            f = OocArray(ctx.disk, np.float64, name="x")
+            f.append(np.arange(8, dtype=np.float64))
+            # flip a bit behind the file's back
+            handle = f._handles[0]
+            bad = ctx.disk.backend.get(handle)
+            bad[3] = -999.0
+            ctx.disk.backend.overwrite(handle, bad)
+            return f.read_all()
+
+        with pytest.raises(SpmdProgramError) as e:
+            c.run(prog)
+        assert isinstance(e.value.cause, ChunkCorruptionError)
+
+    def test_transient_errors_retried_with_charged_backoff(self):
+        plans = FaultPlan.of(
+            "t", TransientDiskFaults(rank=0, op="get", start=0, count=2)
+        )
+
+        def prog(ctx):
+            f = OocArray(ctx.disk, np.float64, name="x")
+            f.append(np.arange(16, dtype=np.float64))
+            t0 = ctx.clock.now
+            data = f.read_all()
+            return data.sum(), ctx.clock.now - t0, ctx.stats.io_retries
+
+        c = make_cluster(1)
+        ctxs = c.make_contexts()
+        inj = FaultInjector(plans)
+        inj.attach(ctxs)
+        inj.begin_attempt()
+        total, dt_faulty, retries = c.run(prog, contexts=ctxs).results[0]
+
+        clean_total, dt_clean, _ = make_cluster(1).run(prog).results[0]
+        assert total == clean_total == np.arange(16).sum()
+        assert retries == 2
+        # the two backoff waits were charged to the simulated clock
+        disk = ctxs[0].disk
+        expected = disk.RETRY_BASE_DELAY * (1 + disk.RETRY_MULTIPLIER)
+        assert dt_faulty == pytest.approx(dt_clean + expected)
+
+    def test_transient_window_wider_than_retry_budget_propagates(self):
+        c = make_cluster(1)
+        ctxs = c.make_contexts()
+        inj = FaultInjector(
+            FaultPlan.of("t", TransientDiskFaults(rank=0, op="get", count=99))
+        )
+        inj.attach(ctxs)
+        inj.begin_attempt()
+
+        def prog(ctx):
+            f = OocArray(ctx.disk, np.float64, name="x")
+            f.append(np.ones(4))
+            return f.read_all()
+
+        with pytest.raises(SpmdProgramError) as e:
+            c.run(prog, contexts=ctxs)
+        assert isinstance(e.value.cause, TransientDiskError)
+
+    def test_corruption_is_deterministic_in_seed(self):
+        def corrupted_bytes(seed):
+            c = make_cluster(1)
+            ctxs = c.make_contexts()
+            inj = FaultInjector(
+                FaultPlan.of("c", CorruptChunk(rank=0, nth_put=0)), seed=seed
+            )
+            inj.attach(ctxs)
+            inj.begin_attempt()
+
+            def prog(ctx):
+                f = OocArray(ctx.disk, np.float64, name="x")
+                f.append(np.zeros(32))
+                return ctx.disk.backend.get(f._handles[0]).tobytes()
+
+            return c.run(prog, contexts=ctxs).results[0]
+
+        assert corrupted_bytes(1) == corrupted_bytes(1)
+        assert corrupted_bytes(1) != corrupted_bytes(2)
+
+
+# -- the checkpoint store -----------------------------------------------------
+
+
+class TestCheckpointStore:
+    def _disk(self):
+        return make_cluster(1).make_contexts()[0].disk
+
+    def test_roundtrip_latest_wins(self):
+        disk = self._disk()
+        store = CheckpointStore()
+        store.save(disk, "level-0", {"level": 0})
+        store.save(disk, "level-1", {"level": 1, "x": np.arange(3)})
+        assert store.labels == ["level-0", "level-1"]
+        label, state = store.load_latest(disk)
+        assert label == "level-1"
+        assert state["level"] == 1
+        np.testing.assert_array_equal(state["x"], np.arange(3))
+
+    def test_empty_store_restores_nothing(self):
+        assert CheckpointStore().load_latest(self._disk()) is None
+
+    def test_corrupted_checkpoint_falls_back_to_older(self):
+        disk = self._disk()
+        store = CheckpointStore()
+        store.save(disk, "good", {"v": 1})
+        store.save(disk, "bad", {"v": 2})
+        entry = store._entries[-1]
+        payload = disk.backend.get(entry.handle)
+        payload[0] ^= 0xFF
+        disk.backend.overwrite(entry.handle, payload)
+        label, state = store.load_latest(disk)
+        assert (label, state["v"]) == ("good", 1)
+        assert store.labels == ["good"]  # the bad entry was dropped
+
+    def test_checkpoint_write_charged_to_clock(self):
+        disk = self._disk()
+        t0 = disk.clock.now
+        CheckpointStore().save(disk, "x", {"blob": np.zeros(1024)})
+        assert disk.clock.now > t0
+        assert disk.stats.bytes_written > 0
+
+
+# -- end-to-end recovery ------------------------------------------------------
+
+
+class TestRecovery:
+    def test_crash_recovers_to_identical_tree(self):
+        baseline = fit(make_dataset())
+        plan = FaultPlan.of("k", CrashAtPhase(rank=3, phase="partition"))
+        res = fit(make_dataset(), faults=plan, recover=True)
+        assert res.n_restarts == 1
+        assert len(res.fault_events) == 1
+        assert res.tree.to_dict() == baseline.tree.to_dict()
+        # the failed attempt's simulated time is not free
+        assert res.elapsed > baseline.elapsed
+
+    def test_crash_without_recover_raises(self):
+        plan = FaultPlan.of("k", CrashAtCollective(rank=1, nth=4))
+        with pytest.raises(SpmdProgramError) as e:
+            fit(make_dataset(), faults=plan)
+        assert isinstance(e.value.cause, InjectedFault)
+
+    def test_corruption_detected_not_silent(self):
+        """A flipped bit must surface as ChunkCorruptionError — never as a
+        quietly different tree."""
+        plan = FaultPlan.of("c", CorruptChunk(rank=2, nth_put=1))
+        with pytest.raises(SpmdProgramError) as e:
+            fit(make_dataset(), faults=plan)
+        assert isinstance(e.value.cause, ChunkCorruptionError)
+
+    def test_corruption_recovers_to_identical_tree(self):
+        baseline = fit(make_dataset())
+        plan = FaultPlan.of("c", CorruptChunk(rank=2, nth_put=1))
+        res = fit(make_dataset(), faults=plan, recover=True)
+        assert res.n_restarts >= 1
+        assert res.tree.to_dict() == baseline.tree.to_dict()
+
+    def test_transient_faults_survive_without_restart(self):
+        baseline = fit(make_dataset())
+        plan = FaultPlan.of(
+            "t", TransientDiskFaults(rank=0, op="get", start=3, count=2)
+        )
+        res = fit(make_dataset(), faults=plan, recover=True)
+        assert res.n_restarts == 0
+        assert res.tree.to_dict() == baseline.tree.to_dict()
+        assert sum(s.io_retries for s in res.run.stats.per_rank) == 2
+
+    def test_straggler_slows_but_completes(self):
+        baseline = fit(make_dataset())
+        res = fit(
+            make_dataset(), faults=FaultPlan.of("s", SlowRank(rank=3, factor=4.0))
+        )
+        assert res.n_restarts == 0
+        assert res.tree.to_dict() == baseline.tree.to_dict()
+        assert res.elapsed > baseline.elapsed
+
+    def test_recovery_is_deterministic(self):
+        plan = standard_plans(4)[0]
+        r1 = fit(make_dataset(), faults=plan, recover=True)
+        r2 = fit(make_dataset(), faults=plan, recover=True)
+        assert r1.fault_events == r2.fault_events
+        assert r1.tree.to_dict() == r2.tree.to_dict()
+        assert r1.elapsed == r2.elapsed
+
+    def test_restart_budget_exhausts(self):
+        # every attempt re-fires a fresh crash: recovery must give up
+        plan = FaultPlan.of(
+            "relentless",
+            *[CrashAtCollective(rank=1, nth=0) for _ in range(10)],
+        )
+        with pytest.raises(SpmdProgramError):
+            fit(make_dataset(), faults=plan, recover=True, max_restarts=2)
+
+    def test_fault_events_reach_the_trace(self):
+        plan = standard_plans(4)[0]
+        res = fit(make_dataset(), faults=plan, recover=True, trace=True)
+        faults = [e for t in res.tracers for e in t.events if e.kind == "fault"]
+        assert len(faults) == 1
+        assert faults[0].op.startswith("fault:crash@collective")
+        # the roll-up aggregates the new kind into its rows
+        report = res.trace_report()
+        fault_rows = [r for r in report.rows if r.kind == "fault"]
+        assert len(fault_rows) == 1 and fault_rows[0].count == 1
+        assert fault_rows[0].op in report.render()
+
+    def test_checkpoint_and_recover_phases_attributed(self):
+        plan = FaultPlan.of("k", CrashAtCollective(rank=1, nth=20))
+        res = fit(make_dataset(), faults=plan, recover=True)
+        assert res.phase_time("checkpoint") > 0
+        assert res.phase_time("recover") > 0
+
+
+class TestChaosMatrix:
+    """The acceptance matrix: every standard plan × seed must survive and
+    reproduce the fault-free tree bit for bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_all_standard_plans_recover(self, seed):
+        baseline = fit(make_dataset(seed=seed), seed=seed + 2).tree.to_dict()
+        for plan in standard_plans(4):
+            res = fit(
+                make_dataset(seed=seed), seed=seed + 2, faults=plan, recover=True
+            )
+            assert res.tree.to_dict() == baseline, plan.name
+
+
+# -- memory-budget fallback ---------------------------------------------------
+
+
+class TestMemoryFallback:
+    def test_reservation_released_when_guarded_block_raises(self):
+        budget = MemoryBudget(limit=100)
+        with pytest.raises(RuntimeError):
+            with budget.reserve(60):
+                assert budget.reserved == 60
+                raise RuntimeError("boom")
+        assert budget.reserved == 0
+        assert budget.high_water == 60
+
+    def test_reserve_beyond_budget_raises(self):
+        budget = MemoryBudget(limit=100)
+        with budget.reserve(80):
+            with pytest.raises(MemoryExceededError):
+                budget.reserve(40)
+        assert budget.reserved == 0
+
+    def test_small_nodes_fall_back_to_out_of_core(self):
+        """A tight memory budget must reroute small-node builds through
+        the disk — changing costs, never the tree."""
+        unlimited = fit(make_dataset())
+        limited_ds = make_dataset(memory_limit=4096)
+        limited = fit(limited_ds)
+        assert limited.tree.to_dict() == unlimited.tree.to_dict()
+        read = lambda r: sum(s.bytes_read for s in r.run.stats.per_rank)
+        assert read(limited) > read(unlimited)
+
+    def test_in_core_builds_actually_reserve(self):
+        ds = make_dataset()
+        fit(ds)
+        # unlimited budget: small-node builds reserved (and released) memory
+        assert max(ctx.memory.high_water for ctx in ds.contexts) > 0
+        assert all(ctx.memory.reserved == 0 for ctx in ds.contexts)
+
+
+# -- Cluster.run resource ownership -------------------------------------------
+
+
+class TestRunCleanup:
+    def test_run_owned_backends_closed_on_success_and_failure(self):
+        made = []
+
+        def factory():
+            b = InMemoryBackend()
+            made.append(b)
+            return b
+
+        c = make_cluster(2, backend_factory=factory)
+
+        def prog(ctx):
+            f = OocArray(ctx.disk, np.float64, name="x")
+            f.append(np.ones(64))
+            return len(f)
+
+        assert c.run(prog).results == [64, 64]
+        assert len(made) == 2
+        assert all(b.resident_bytes() == 0 for b in made)
+
+        def bad(ctx):
+            OocArray(ctx.disk, np.float64, name="x").append(np.ones(64))
+            raise RuntimeError("die")
+
+        with pytest.raises(SpmdProgramError):
+            c.run(bad)
+        assert all(b.resident_bytes() == 0 for b in made)
+
+    def test_caller_owned_contexts_stay_open(self):
+        c = make_cluster(2)
+        ctxs = c.make_contexts()
+
+        def writer(ctx):
+            f = OocArray(ctx.disk, np.float64, name="x")
+            f.append(np.full(4, ctx.rank, dtype=np.float64))
+            return f
+
+        files = c.run(writer, contexts=ctxs).results
+        # the disks survive the run: read the files back in a second run
+        out = c.run(lambda ctx: files[ctx.rank].read_all().sum(), contexts=ctxs)
+        assert out.results == [0.0, 4.0]
+
+    def test_timers_closed_after_failure(self):
+        c = make_cluster(2)
+        ctxs = c.make_contexts()
+
+        def prog(ctx):
+            ctx.timer.start("doomed")
+            if ctx.rank == 1:
+                raise RuntimeError("die")
+            ctx.comm.barrier()
+
+        with pytest.raises(SpmdProgramError):
+            c.run(prog, contexts=ctxs)
+        assert all(ctx.timer.current is None for ctx in ctxs)
+
+    def test_contexts_reusable_after_abort(self):
+        c = make_cluster(2)
+        ctxs = c.make_contexts()
+
+        def bad(ctx):
+            if ctx.rank == 0:
+                raise RuntimeError("die")
+            ctx.comm.allreduce(1)
+
+        with pytest.raises(SpmdProgramError):
+            c.run(bad, contexts=ctxs)
+        # the shared world is reset on the next run
+        assert c.run(lambda ctx: ctx.comm.allreduce(1), contexts=ctxs).results == [2, 2]
