@@ -1,0 +1,153 @@
+"""Frontier-batching ablation: level-batched vs per-node collectives.
+
+The level-batched pipeline (``frontier_batching="level"``) fuses every
+large node of one breadth-first frontier level into a constant number of
+collectives — one stats alltoall, one k-way boundary election, one alive
+allgather, one member alltoall, one k-way interior election, one stacked
+left-count allreduce — while the per-node baseline pays that set per
+*node*, i.e. linearly in the frontier width, with ``alpha*log p`` startup
+charged per collective. This bench measures simulated elapsed time and
+collective counts for both modes over p ∈ {2, 4, 8, 16} and two data
+sizes (deeper trees), verifies the trees are bit-identical, and writes
+``BENCH_frontier_batching.json``.
+
+Run standalone (CI smoke uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_frontier_batching.py [--quick]
+
+Exits non-zero if the batched path issues more collectives than the
+per-node path at any grid point, if any tree differs, or if batching is
+not strictly faster in simulated time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import ExperimentConfig, run_pclouds  # noqa: E402
+from repro.bench.reporting import format_table  # noqa: E402
+
+#: paper data sizes at 1:200 record scale (same grid as the Fig. 1 bench)
+FULL_SIZES = {"3.6M": 18_000, "7.2M": 36_000}
+FULL_RANKS = [2, 4, 8, 16]
+QUICK_SIZES = {"0.6M": 3_000}
+QUICK_RANKS = [2, 4]
+
+
+def run_point(n_records: int, p: int, batching: str, scale: float) -> dict:
+    cfg = ExperimentConfig(
+        n_records=n_records, n_ranks=p, scale=scale, seed=0,
+        frontier_batching=batching,
+    )
+    res = run_pclouds(cfg)
+    return {
+        "elapsed": res.elapsed,
+        "collectives": res.run.stats.per_rank[0].collectives,
+        "bytes_sent": int(res.run.stats.total.bytes_sent),
+        "n_large_nodes": res.n_large_nodes,
+        "depth": res.tree.depth,
+        "_tree": res.tree.to_dict(),  # stripped before serialization
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="small grid for the CI smoke job",
+    )
+    ap.add_argument(
+        "--out", default="BENCH_frontier_batching.json",
+        help="output JSON path",
+    )
+    ap.add_argument("--scale", type=float, default=200.0)
+    args = ap.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    ranks = QUICK_RANKS if args.quick else FULL_RANKS
+
+    points = []
+    failures = []
+    for label, n in sizes.items():
+        for p in ranks:
+            level = run_point(n, p, "level", args.scale)
+            per_node = run_point(n, p, "per_node", args.scale)
+            identical = level.pop("_tree") == per_node.pop("_tree")
+            point = {
+                "dataset": label,
+                "n_records": n,
+                "n_ranks": p,
+                "level": level,
+                "per_node": per_node,
+                "identical_trees": identical,
+                "collectives_saved": (
+                    per_node["collectives"] - level["collectives"]
+                ),
+                "elapsed_ratio": per_node["elapsed"] / level["elapsed"],
+            }
+            points.append(point)
+            where = f"{label} p={p}"
+            if not identical:
+                failures.append(f"{where}: trees differ between modes")
+            if level["collectives"] > per_node["collectives"]:
+                failures.append(
+                    f"{where}: batched path issued more collectives "
+                    f"({level['collectives']} > {per_node['collectives']})"
+                )
+            if level["elapsed"] >= per_node["elapsed"]:
+                failures.append(
+                    f"{where}: batched path not strictly faster "
+                    f"({level['elapsed']:.4f} >= {per_node['elapsed']:.4f})"
+                )
+
+    print("Frontier batching: level-batched vs per-node collectives")
+    rows = [
+        [
+            pt["dataset"],
+            str(pt["n_ranks"]),
+            str(pt["level"]["depth"]),
+            str(pt["per_node"]["collectives"]),
+            str(pt["level"]["collectives"]),
+            f"{pt['per_node']['elapsed']:.2f}",
+            f"{pt['level']['elapsed']:.2f}",
+            f"{pt['elapsed_ratio']:.3f}x",
+            "yes" if pt["identical_trees"] else "NO",
+        ]
+        for pt in points
+    ]
+    print(
+        format_table(
+            [
+                "data", "p", "depth", "coll/node", "coll/level",
+                "t/node", "t/level", "speedup", "same tree",
+            ],
+            rows,
+        )
+    )
+
+    payload = {
+        "benchmark": "frontier_batching",
+        "quick": bool(args.quick),
+        "scale": args.scale,
+        "ranks": ranks,
+        "sizes": sizes,
+        "points": points,
+        "ok": not failures,
+        "failures": failures,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

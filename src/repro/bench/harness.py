@@ -78,6 +78,7 @@ class ExperimentConfig:
     memory_ratio: float = PAPER_MEMORY_RATIO
     method: str = "sse"
     exchange: str = "attribute"
+    frontier_batching: str = "level"
     seed: int = 0
     min_node: int = 16
     purity: float = 0.999
@@ -141,6 +142,7 @@ def run_pclouds(cfg: ExperimentConfig, *, trace: bool = False) -> PCloudsResult:
             ),
             q_switch=cfg.q_switch,
             exchange=cfg.exchange,
+            frontier_batching=cfg.frontier_batching,
         )
     )
     return pc.fit(dataset, seed=cfg.seed + 2, trace=trace)

@@ -162,24 +162,21 @@ def _enumerated_subset(counts: np.ndarray) -> tuple[float, frozenset[int]]:
 
 def _greedy_subset(counts: np.ndarray) -> tuple[float, frozenset[int]]:
     """Greedy hill-climbing subset construction (SPRINT's fallback for
-    high-cardinality attributes)."""
+    high-cardinality attributes). Each round scores every candidate move
+    with one broadcast :func:`weighted_gini` call; ``argmin`` takes the
+    first minimum, so ties go to the lowest category code exactly as the
+    scalar scan did."""
     present = list(np.flatnonzero(counts.sum(axis=1) > 0))
     all_counts = counts.sum(axis=0, dtype=np.float64)
     left: set[int] = set()
     left_counts = np.zeros_like(all_counts)
     best = (float("inf"), frozenset())
-    while len(left) < len(present) - 1:
-        move_best = None
-        for v in present:
-            if v in left:
-                continue
-            cand = left_counts + counts[v]
-            g = float(weighted_gini(cand, all_counts - cand))
-            if move_best is None or g < move_best[0]:
-                move_best = (g, v)
-        if move_best is None:
-            break
-        g, v = move_best
+    remaining = list(present)
+    while len(left) < len(present) - 1 and remaining:
+        cand = left_counts[None, :] + counts[remaining]
+        ginis = np.atleast_1d(weighted_gini(cand, all_counts[None, :] - cand))
+        k = int(np.argmin(ginis))
+        g, v = float(ginis[k]), int(remaining.pop(k))
         left.add(v)
         left_counts = left_counts + counts[v]
         if g < best[0]:

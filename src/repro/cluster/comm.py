@@ -310,6 +310,55 @@ class Comm:
         self._count_bytes(sent=m, received=m)
         return best[0], best[3], best[2]
 
+    def allreduce_minloc_many(
+        self,
+        values: Sequence[float],
+        payloads: Sequence[Any] | None = None,
+        tiebreaks: Sequence[Any] | None = None,
+    ) -> list[tuple[float, Any, int]]:
+        """Vectorized :meth:`allreduce_minloc`: ``k`` independent min
+        elections resolved in a **single** collective.
+
+        Slot ``i`` elects the global minimum of ``values[i]`` across
+        ranks, with ties resolved by ``tiebreaks[i]`` and then by lowest
+        rank — exactly the per-slot semantics of ``allreduce_minloc``.
+        Returns one ``(value, payload, rank)`` triple per slot. The wire
+        cost is one ``alpha·log p`` startup for the whole batch plus the
+        summed per-slot payloads, which is what makes level-batched
+        split elections cheaper than ``k`` separate calls.
+
+        All ranks must pass the same number of slots; a mismatch aborts
+        the world like any other SPMD divergence.
+        """
+        k = len(values)
+        payloads = list(payloads) if payloads is not None else [None] * k
+        tiebreaks = list(tiebreaks) if tiebreaks is not None else [None] * k
+        if len(payloads) != k or len(tiebreaks) != k:
+            raise ValueError("values, payloads and tiebreaks must align")
+        contribution = [
+            (float(v), (tb is None, tb), self.rank, pl)
+            for v, tb, pl in zip(values, tiebreaks, payloads)
+        ]
+        data = self._exchange("minloc_many", contribution)
+        if any(len(row) != k for row in data):
+            self._world.abort()
+            raise CommMismatchError(
+                f"rank {self.rank} called allreduce_minloc_many with "
+                f"{k} slots but peers passed "
+                f"{sorted({len(row) for row in data})!r}"
+            )
+        out: list[tuple[float, Any, int]] = []
+        m = 0
+        for slot in range(k):
+            best = min(
+                (row[slot] for row in data), key=lambda t: (t[0], t[1], t[2])
+            )
+            m += 8 + payload_nbytes(best[3])
+            out.append((best[0], best[3], best[2]))
+        self._charge(self._world.network.global_combine(m, self.size))
+        self._count_bytes(sent=m, received=m)
+        return out
+
     def scan(self, obj: Any, op: str | Callable = "sum") -> Any:
         """Inclusive prefix reduction across ranks (Table 1 prefix sum)."""
         fn = _resolve_op(op)

@@ -65,6 +65,7 @@ _COLLECTIVES = frozenset(
         "reduce",
         "allreduce",
         "allreduce_minloc",
+        "allreduce_minloc_many",
         "scan",
         "alltoall",
         "split",

@@ -216,6 +216,7 @@ class _TracingComm(Comm):
         "reduce",
         "allreduce",
         "allreduce_minloc",
+        "allreduce_minloc_many",
         "scan",
         "alltoall",
         "send",

@@ -54,6 +54,12 @@ class NodeAccess:
         (left, right, local left class counts)."""
         raise NotImplementedError
 
+    def release(self) -> None:
+        """Drop any memory-resident copy of the fragment. The
+        level-batched driver keeps every node of a frontier level open
+        at once; releasing each access after its last pass caps the
+        resident footprint at one node's columns instead of a level's."""
+
 
 class InCoreAccess(NodeAccess):
     """Fragment fits the memory budget: one read, then memory-resident."""
@@ -94,6 +100,10 @@ class InCoreAccess(NodeAccess):
             name=f"{self.cs.name}/R",
         )
         return left, right, class_counts(self.labels[mask], self.schema.n_classes)
+
+    def release(self) -> None:
+        self.columns = {}
+        self.labels = np.empty(0, dtype=np.int64)
 
 
 class StreamingAccess(NodeAccess):

@@ -20,7 +20,7 @@ from repro.data.schema import Schema
 
 from .access import NodeAccess
 
-__all__ = ["assign_by_cost", "evaluate_alive_parallel"]
+__all__ = ["assign_by_cost", "evaluate_alive_parallel", "evaluate_alive_level"]
 
 
 def assign_by_cost(costs: list[float], n_ranks: int) -> list[int]:
@@ -91,3 +91,75 @@ def evaluate_alive_parallel(
         tiebreak=best_local.order_key() if best_local is not None else None,
     )
     return better(boundary_split, interior)
+
+
+def evaluate_alive_level(
+    ctx: RankContext,
+    accesses: list[NodeAccess],
+    alive_lists: list[list[AliveInterval]],
+    counts_list: list[np.ndarray],
+    schema: Schema,
+    boundary_splits: list[Split | None],
+) -> list[Split | None]:
+    """Batched :func:`evaluate_alive_parallel` for one frontier level.
+
+    The LPT cost assignment runs over the *global* pool of (node,
+    interval) items, so a level with one hot node and many cold ones
+    still balances; all members travel in **one** personalized
+    all-to-all and the per-node interior winners are elected in **one**
+    k-way min-reduction. The elected split of each node is bit-identical
+    to the per-node path: interval evaluation is independent of which
+    rank owns it (pieces concatenate in source-rank order and the
+    evaluator sorts stably), and the election compares
+    ``(gini, order_key)`` exactly as the per-node reduction does.
+    """
+    comm = ctx.comm
+    k = len(alive_lists)
+    pool = [(j, i) for j in range(k) for i in range(len(alive_lists[j]))]
+    if not pool:
+        return list(boundary_splits)
+
+    owner = assign_by_cost(
+        [alive_lists[j][i].sort_cost() for j, i in pool], comm.size
+    )
+
+    # extract local members node by node (back-to-back disk passes) and
+    # route everything to the interval owners in one alltoall
+    members = [
+        accesses[j].alive_members(alive_lists[j]) if alive_lists[j] else []
+        for j in range(k)
+    ]
+    parts: list[dict[int, tuple[np.ndarray, np.ndarray]]] = [
+        dict() for _ in range(comm.size)
+    ]
+    for idx, (j, i) in enumerate(pool):
+        vals, labs = members[j][i]
+        if len(vals):
+            parts[owner[idx]][idx] = (vals, labs)
+    incoming = comm.alltoall(parts)
+
+    # owner side: assemble, sort and evaluate every owned interval
+    best_local: list[Split | None] = [None] * k
+    for idx in (i for i in range(len(pool)) if owner[i] == comm.rank):
+        j, i = pool[idx]
+        pieces = [src[idx] for src in incoming if idx in src]
+        if not pieces:
+            continue
+        vals = np.concatenate([p[0] for p in pieces])
+        labs = np.concatenate([p[1] for p in pieces])
+        ctx.charge_sort(len(vals))
+        ctx.charge_compute(ops=len(vals) * schema.n_classes)
+        cand = evaluate_alive_interval(
+            alive_lists[j][i], vals, labs,
+            np.asarray(counts_list[j], dtype=np.float64), schema.n_classes,
+        )
+        best_local[j] = better(best_local[j], cand)
+
+    elected = comm.allreduce_minloc_many(
+        [s.gini if s is not None else float("inf") for s in best_local],
+        best_local,
+        tiebreaks=[
+            s.order_key() if s is not None else None for s in best_local
+        ],
+    )
+    return [better(boundary_splits[j], elected[j][1]) for j in range(k)]

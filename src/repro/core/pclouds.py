@@ -38,12 +38,12 @@ from repro.data.schema import Schema
 from repro.ooc.columnset import ColumnSet
 
 from .access import open_node
-from .alive import evaluate_alive_parallel
+from .alive import evaluate_alive_level, evaluate_alive_parallel
 from .checkpoint import CheckpointStore
 from .config import PCloudsConfig
 from .dataset import DistributedDataset
 from .small_tasks import SmallTask, process_small_tasks
-from .stats_exchange import exchange_node_stats
+from .stats_exchange import exchange_level_stats, exchange_node_stats
 from .switching import auto_q_switch
 
 __all__ = ["PClouds", "PCloudsResult", "apportion_sample"]
@@ -216,13 +216,20 @@ def apportion_sample(sample_size: int, counts: list[int]) -> list[int]:
     want = min(int(sample_size), total)
     quotas = [want * c / total for c in counts]
     out = [min(int(q), c) for q, c in zip(quotas, counts)]
-    while sum(out) < want:
-        # most-underserved rank that still has rows to give
-        r = max(
-            (r for r in range(len(counts)) if out[r] < counts[r]),
-            key=lambda r: (quotas[r] - out[r], -r),
-        )
-        out[r] += 1
+    deficit = want - sum(out)
+    if deficit > 0:
+        # one descending argsort over the fractional remainders replaces
+        # the O(p²) repeated-max top-up: no rank is ever topped up twice
+        # (remainders are < 1), and the stable sort on the negated
+        # remainders keeps ties going to the lowest rank
+        remainders = np.array(quotas) - np.array(out, dtype=np.float64)
+        for r in np.argsort(-remainders, kind="stable"):
+            if deficit == 0:
+                break
+            r = int(r)
+            if out[r] < counts[r]:
+                out[r] += 1
+                deficit -= 1
     return out
 
 
@@ -466,6 +473,14 @@ def _fit_program(
                 ctx, store, f"level-{level}", level,
                 frontier, small, nodes, survival, n_large,
             )
+        if config.frontier_batching == "level":
+            frontier, n_processed = _process_level(
+                ctx, frontier, schema, config, stopping, q_switch,
+                n_total, nodes, small, survival,
+            )
+            n_large += n_processed
+            level += 1
+            continue
         next_frontier: list[_LargeTask] = []
         for t in frontier:
             n = int(t.counts.sum())
@@ -608,6 +623,162 @@ def _process_large_node(
         right_cs.delete()
         return None, None, ratio, None, None
     return split, left_counts, ratio, left_cs, right_cs
+
+
+def _process_level(
+    ctx: RankContext,
+    frontier: list[_LargeTask],
+    schema: Schema,
+    config: PCloudsConfig,
+    stopping,
+    q_switch: int,
+    n_total: int,
+    nodes: dict[int, dict],
+    small: list[SmallTask],
+    survival: list[float],
+) -> tuple[list[_LargeTask], int]:
+    """One frontier level under ``frontier_batching="level"``: the same
+    stats → alive → partition cycle as :func:`_process_large_node`, but
+    fused across every large node of the level, so the collectives per
+    level are **one** stats alltoall, **one** k-way boundary election,
+    **one** alive allgather, **one** member alltoall, **one** k-way
+    interior election and **one** allreduce of the stacked per-node
+    left-count matrix — constant in the frontier width. The produced
+    tree is bit-identical to the per-node driver's (same combines, same
+    tie-break keys, same partitions).
+
+    Mutates ``nodes``/``small``/``survival`` exactly as the per-node
+    loop does and returns ``(next_frontier, n_large_processed)``.
+    """
+    cfg = config.clouds
+
+    # classify the level: leaves and small nodes peel off, large remain
+    large: list[_LargeTask] = []
+    qs: list[int] = []
+    for t in frontier:
+        n = int(t.counts.sum())
+        if stopping.is_leaf(t.counts, t.depth):
+            nodes[t.node_id] = {
+                "kind": "leaf", "counts": t.counts, "depth": t.depth
+            }
+            t.columnset.delete()
+            continue
+        q = scale_q(cfg.q_root, n, n_total)
+        if q <= q_switch:
+            nodes[t.node_id] = {
+                "kind": "small", "counts": t.counts, "depth": t.depth
+            }
+            small.append(
+                SmallTask(
+                    node_id=t.node_id,
+                    depth=t.depth,
+                    n_global=n,
+                    class_counts=t.counts,
+                    columnset=t.columnset,
+                )
+            )
+            continue
+        large.append(t)
+        qs.append(q)
+    if not large:
+        return [], 0
+    counts_list = [t.counts for t in large]
+
+    # (1) every node's local stats pass back-to-back, then one batched
+    # exchange for the whole level
+    ctx.timer.start("stats")
+    accesses = []
+    locals_list = []
+    for t, q in zip(large, qs):
+        bounds = node_boundaries(schema, t.sample_cols, q)
+        access = open_node(ctx, t.columnset, schema)
+        locals_list.append(access.stats_pass(bounds))
+        accesses.append(access)
+    exchanged = exchange_level_stats(
+        ctx, schema, locals_list, counts_list, config
+    )
+    boundary_splits = [s for s, _ in exchanged]
+    alive_lists = [a for _, a in exchanged]
+
+    # (2) alive evaluation over the global (node, interval) pool
+    ctx.timer.start("alive")
+    for t, alive in zip(large, alive_lists):
+        survival.append(sum(iv.count for iv in alive) / max(int(t.counts.sum()), 1))
+    splits = evaluate_alive_level(
+        ctx, accesses, alive_lists, counts_list, schema, boundary_splits
+    )
+    for idx, t in enumerate(large):
+        if splits[idx] is not None and splits[idx].gini >= float(
+            gini_from_counts(t.counts)
+        ):
+            splits[idx] = None
+    splitting = [idx for idx in range(len(large)) if splits[idx] is not None]
+
+    # (3) all partition passes locally, closed by one allreduce of the
+    # stacked per-node left-count matrix (skipped when the whole level
+    # went leaf — every rank agrees, the splits are replicated)
+    children: dict[int, tuple[ColumnSet, ColumnSet]] = {}
+    left_matrix = None
+    if splitting:
+        ctx.timer.start("partition")
+        locals_left = []
+        for idx in splitting:
+            left_cs, right_cs, local_left = accesses[idx].partition(splits[idx])
+            large[idx].columnset.delete()
+            children[idx] = (left_cs, right_cs)
+            locals_left.append(local_left)
+        left_matrix = ctx.comm.allreduce(np.stack(locals_left))
+    ctx.timer.stop()
+    for access in accesses:
+        access.release()
+
+    # bookkeeping in frontier order, as the per-node loop emits it
+    row = {idx: r for r, idx in enumerate(splitting)}
+    next_frontier: list[_LargeTask] = []
+    for idx, t in enumerate(large):
+        split = splits[idx]
+        if split is not None:
+            left_counts = left_matrix[row[idx]]
+            right_counts = t.counts - left_counts
+            if left_counts.sum() == 0 or right_counts.sum() == 0:
+                children[idx][0].delete()
+                children[idx][1].delete()
+                split = None
+        if split is None:
+            nodes[t.node_id] = {
+                "kind": "leaf", "counts": t.counts, "depth": t.depth
+            }
+            if idx not in children:
+                t.columnset.delete()
+            continue
+        nodes[t.node_id] = {
+            "kind": "internal",
+            "split": split,
+            "counts": t.counts,
+            "depth": t.depth,
+        }
+        smask = split.goes_left(t.sample_cols[split.attribute])
+        next_frontier.append(
+            _LargeTask(
+                node_id=2 * t.node_id + 1,
+                depth=t.depth + 1,
+                columnset=children[idx][0],
+                sample_cols={k: v[smask] for k, v in t.sample_cols.items()},
+                sample_labels=t.sample_labels[smask],
+                counts=left_counts,
+            )
+        )
+        next_frontier.append(
+            _LargeTask(
+                node_id=2 * t.node_id + 2,
+                depth=t.depth + 1,
+                columnset=children[idx][1],
+                sample_cols={k: v[~smask] for k, v in t.sample_cols.items()},
+                sample_labels=t.sample_labels[~smask],
+                counts=t.counts - left_counts,
+            )
+        )
+    return next_frontier, len(large)
 
 
 # -- tree assembly -------------------------------------------------------------

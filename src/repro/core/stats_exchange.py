@@ -39,7 +39,7 @@ from repro.data.schema import Schema
 
 from .config import PCloudsConfig
 
-__all__ = ["attribute_owner", "exchange_node_stats"]
+__all__ = ["attribute_owner", "exchange_node_stats", "exchange_level_stats"]
 
 
 def attribute_owner(attr_index: int, n_ranks: int) -> int:
@@ -74,6 +74,37 @@ def _best_boundary_split_of(
         kind=NUMERIC_SPLIT,
         gini=float(ginis[k]),
         threshold=float(boundaries[k]),
+    )
+
+
+def _best_block_boundary_split(
+    name: str,
+    bounds: np.ndarray,
+    lo: int,
+    cum: np.ndarray,
+    total_counts: np.ndarray,
+) -> Split | None:
+    """Boundary sweep over one *owned block* of cumulative counts, where
+    interval row ``i`` closes boundary ``lo + i``. Ties resolve to the
+    smallest row index, i.e. the smallest threshold — exactly what a
+    sequential scan with the split order-key tiebreak picks, since the
+    boundaries are sorted ascending."""
+    if cum.shape[0] == 0:
+        return None
+    total = np.asarray(total_counts, dtype=np.float64)
+    n_total = float(total.sum())
+    b = lo + np.arange(cum.shape[0])
+    sizes = cum.sum(axis=1)
+    valid = (b < len(bounds)) & (sizes > 0) & (sizes < n_total)
+    if not valid.any():
+        return None
+    ginis = np.where(valid, boundary_sweep(cum, total), np.inf)
+    k = int(np.argmin(ginis))
+    return Split(
+        attribute=name,
+        kind=NUMERIC_SPLIT,
+        gini=float(ginis[k]),
+        threshold=float(bounds[lo + k]),
     )
 
 
@@ -268,30 +299,21 @@ def _exchange_distributed(
 
     # boundary sweep over the owned block of every attribute
     best_local: Split | None = None
-    n_total = float(np.asarray(total_counts).sum())
     for name, (lo, hist, vmin, vmax) in blocks.items():
         bounds = local.numeric[name].boundaries
         cum = base[name][None, :] + np.cumsum(hist, axis=0)
         ctx.charge_compute(ops=3 * hist.size)
-        for i in range(hist.shape[0]):
-            b = lo + i  # boundary b closes interval b
-            if b >= len(bounds):
-                continue
-            left_n = float(cum[i].sum())
-            if left_n <= 0 or left_n >= n_total:
-                continue
-            g = float(boundary_sweep(cum[i : i + 1], np.asarray(total_counts))[0])
-            cand = Split(
-                attribute=name, kind=NUMERIC_SPLIT, gini=g,
-                threshold=float(bounds[b]),
-            )
-            if (
+        cand = _best_block_boundary_split(name, bounds, lo, cum, total_counts)
+        if (
+            cand is not None
+            and (
                 best_local is None
                 or cand.gini < best_local.gini
                 or (cand.gini == best_local.gini
                     and cand.order_key() < best_local.order_key())
-            ):
-                best_local = cand
+            )
+        ):
+            best_local = cand
 
     # categorical candidates at their attribute owners
     for name, matrix_pieces in (
@@ -436,6 +458,378 @@ def _exchange_allreduce(
     )
     alive.sort(key=lambda iv: (iv.attribute, iv.index))  # same order as the
     return split, alive  # attribute-based path, so downstream LPT agrees
+
+
+# -- level-batched exchange (frontier_batching="level") -----------------------
+
+
+def exchange_level_stats(
+    ctx: RankContext,
+    schema: Schema,
+    locals_list: list[NodeStats],
+    counts_list: list[np.ndarray],
+    config: PCloudsConfig,
+) -> list[tuple[Split | None, list[AliveInterval]]]:
+    """Batched :func:`exchange_node_stats` for every large node of one
+    frontier level: the same combines and sweeps, but all nodes'
+    statistics travel in **one** alltoall, the per-node minima are
+    elected in **one** k-way min-reduction, and (for SSE) all nodes'
+    alive statuses replicate in **one** allgather — so the collective
+    count per level is constant in the frontier width.
+
+    Returns one ``(split, alive)`` pair per node, in frontier order,
+    each bit-identical to what the per-node exchange produces.
+    """
+    if not locals_list:
+        return []
+    if config.exchange == "attribute":
+        return _exchange_attribute_level(
+            ctx, schema, locals_list, counts_list, config
+        )
+    if config.exchange == "distributed":
+        return _exchange_distributed_level(
+            ctx, schema, locals_list, counts_list, config
+        )
+    return _exchange_allreduce_level(ctx, schema, locals_list, counts_list, config)
+
+
+def _exchange_attribute_level(
+    ctx: RankContext,
+    schema: Schema,
+    locals_list: list[NodeStats],
+    counts_list: list[np.ndarray],
+    config: PCloudsConfig,
+) -> list[tuple[Split | None, list[AliveInterval]]]:
+    comm = ctx.comm
+    size, rank = comm.size, comm.rank
+    c = schema.n_classes
+    k = len(locals_list)
+
+    # one alltoall ships every node's local vectors, keyed (node, attr)
+    parts: list[dict[tuple[int, str], object]] = [dict() for _ in range(size)]
+    for j, local in enumerate(locals_list):
+        for i, a in enumerate(schema.attributes):
+            dest = attribute_owner(i, size)
+            if a.is_numeric:
+                ns = local.numeric[a.name]
+                parts[dest][(j, a.name)] = (ns.hist, ns.vmin, ns.vmax)
+            else:
+                parts[dest][(j, a.name)] = local.categorical[a.name]
+    incoming = comm.alltoall(parts)
+
+    # owner: combine and sweep per (node, owned attribute) — identical
+    # arithmetic and tie behavior to the per-node exchange
+    owned = _owned_attributes(schema, rank, size)
+    global_num: list[dict[str, NumericStats]] = [dict() for _ in range(k)]
+    best_local: list[Split | None] = [None] * k
+    for j in range(k):
+        local = locals_list[j]
+        for name in owned:
+            attr = schema.attribute(name)
+            if attr.is_numeric:
+                combined = incoming[0][(j, name)][0].copy()
+                vmin = incoming[0][(j, name)][1].copy()
+                vmax = incoming[0][(j, name)][2].copy()
+                for piece in incoming[1:]:
+                    combined += piece[(j, name)][0]
+                    np.minimum(vmin, piece[(j, name)][1], out=vmin)
+                    np.maximum(vmax, piece[(j, name)][2], out=vmax)
+                ctx.charge_compute(ops=combined.size * size)
+                bounds = local.numeric[name].boundaries
+                global_num[j][name] = NumericStats(
+                    boundaries=bounds, hist=combined, vmin=vmin, vmax=vmax
+                )
+                ctx.charge_compute(ops=3 * combined.size)
+                cand = _best_boundary_split_of(
+                    name, bounds, combined, counts_list[j]
+                )
+            else:
+                combined = incoming[0][(j, name)].copy()
+                for piece in incoming[1:]:
+                    combined += piece[(j, name)]
+                ctx.charge_compute(ops=combined.size * size)
+                res = best_categorical_split(
+                    combined, config.clouds.enumerate_limit
+                )
+                ctx.charge_compute(ops=combined.size * attr.cardinality)
+                cand = (
+                    Split(
+                        attribute=name,
+                        kind=CATEGORICAL_SPLIT,
+                        gini=res[0],
+                        left_codes=res[1],
+                    )
+                    if res is not None
+                    else None
+                )
+            if cand is not None and (
+                best_local[j] is None or cand.gini < best_local[j].gini
+            ):
+                best_local[j] = cand
+
+    # one batched min-election over all k nodes
+    elected = comm.allreduce_minloc_many(
+        [s.gini if s is not None else float("inf") for s in best_local],
+        best_local,
+        tiebreaks=[
+            s.order_key() if s is not None else None for s in best_local
+        ],
+    )
+    splits = [e[1] for e in elected]
+    if config.clouds.method != "sse":
+        return [(s, []) for s in splits]
+
+    # owners determine alive intervals for every node whose split exists;
+    # one allgather replicates all statuses, tagged by node index
+    active = [j for j in range(k) if splits[j] is not None]
+    if not active:
+        return [(s, []) for s in splits]
+    my_alive: list[tuple[int, tuple]] = []
+    for j in active:
+        gini_min = elected[j][0]
+        for name, ns in global_num[j].items():
+            stats_one = NodeStats(
+                total=np.asarray(counts_list[j], dtype=np.int64),
+                numeric={name: ns},
+            )
+            one_schema = Schema(
+                attributes=(schema.attribute(name),), n_classes=c
+            )
+            found = determine_alive_intervals(stats_one, one_schema, gini_min)
+            ctx.charge_compute(ops=ns.hist.shape[0] * c * (2 ** min(c, 16)))
+            my_alive.extend((j, enc) for enc in _encode_alive(found))
+    gathered = ctx.comm.allgather(my_alive)
+    alive_by_node: list[list[AliveInterval]] = [[] for _ in range(k)]
+    for chunk in gathered:
+        for j, enc in chunk:
+            alive_by_node[j].extend(_decode_alive([enc]))
+    for lst in alive_by_node:
+        lst.sort(key=lambda iv: (iv.attribute, iv.index))
+    return [(splits[j], alive_by_node[j]) for j in range(k)]
+
+
+def _exchange_distributed_level(
+    ctx: RankContext,
+    schema: Schema,
+    locals_list: list[NodeStats],
+    counts_list: list[np.ndarray],
+    config: PCloudsConfig,
+) -> list[tuple[Split | None, list[AliveInterval]]]:
+    comm = ctx.comm
+    size, rank = comm.size, comm.rank
+    c = schema.n_classes
+    k = len(locals_list)
+    num_names = [a.name for a in schema.numeric]
+
+    # one alltoall routes every node's interval rows to the block owners
+    parts: list[dict] = [{"num": {}, "cat": {}} for _ in range(size)]
+    for j, local in enumerate(locals_list):
+        for ai, a in enumerate(schema.attributes):
+            if a.is_numeric:
+                ns = local.numeric[a.name]
+                q = ns.n_intervals
+                for d in range(size):
+                    lo, hi = _interval_block(q, size, d)
+                    if lo < hi:
+                        parts[d]["num"][(j, a.name)] = (
+                            lo, ns.hist[lo:hi], ns.vmin[lo:hi], ns.vmax[lo:hi]
+                        )
+            else:
+                parts[attribute_owner(ai, size)]["cat"][(j, a.name)] = (
+                    local.categorical[a.name]
+                )
+    incoming = comm.alltoall(parts)
+
+    # combine this rank's interval block per (node, attribute)
+    blocks: dict[tuple[int, str], tuple[int, np.ndarray, np.ndarray, np.ndarray]] = {}
+    for j in range(k):
+        for name in num_names:
+            key = (j, name)
+            pieces = [src["num"][key] for src in incoming if key in src["num"]]
+            if not pieces:
+                continue
+            lo = pieces[0][0]
+            hist = pieces[0][1].copy()
+            vmin = pieces[0][2].copy()
+            vmax = pieces[0][3].copy()
+            for piece in pieces[1:]:
+                hist += piece[1]
+                np.minimum(vmin, piece[2], out=vmin)
+                np.maximum(vmax, piece[3], out=vmax)
+            blocks[key] = (lo, hist, vmin, vmax)
+            ctx.charge_compute(ops=hist.size * size)
+
+    # one prefix sum over all nodes' stacked per-attribute block totals
+    keys = [(j, n) for j in range(k) for n in num_names]
+    totals = np.stack(
+        [
+            blocks[key][1].sum(axis=0) if key in blocks else np.zeros(c, np.int64)
+            for key in keys
+        ]
+    ) if keys else np.zeros((0, c), dtype=np.int64)
+    inclusive = comm.scan(totals)
+    base = {key: inclusive[i] - totals[i] for i, key in enumerate(keys)}
+
+    # per-node boundary sweeps and categorical candidates
+    best_local: list[Split | None] = [None] * k
+    for (j, name), (lo, hist, vmin, vmax) in blocks.items():
+        bounds = locals_list[j].numeric[name].boundaries
+        cum = base[(j, name)][None, :] + np.cumsum(hist, axis=0)
+        ctx.charge_compute(ops=3 * hist.size)
+        cand = _best_block_boundary_split(name, bounds, lo, cum, counts_list[j])
+        if (
+            cand is not None
+            and (
+                best_local[j] is None
+                or cand.gini < best_local[j].gini
+                or (cand.gini == best_local[j].gini
+                    and cand.order_key() < best_local[j].order_key())
+            )
+        ):
+            best_local[j] = cand
+    for j in range(k):
+        for name in (a.name for a in schema.categorical):
+            key = (j, name)
+            matrix_pieces = [
+                src["cat"][key] for src in incoming if key in src["cat"]
+            ]
+            if not matrix_pieces:
+                continue
+            combined = matrix_pieces[0].copy()
+            for piece in matrix_pieces[1:]:
+                combined += piece
+            ctx.charge_compute(ops=combined.size * size)
+            res = best_categorical_split(combined, config.clouds.enumerate_limit)
+            if res is not None:
+                cand = Split(
+                    attribute=name, kind=CATEGORICAL_SPLIT, gini=res[0],
+                    left_codes=res[1],
+                )
+                if (
+                    best_local[j] is None
+                    or cand.gini < best_local[j].gini
+                    or (cand.gini == best_local[j].gini
+                        and cand.order_key() < best_local[j].order_key())
+                ):
+                    best_local[j] = cand
+
+    # one batched min-election over all k nodes
+    elected = comm.allreduce_minloc_many(
+        [s.gini if s is not None else float("inf") for s in best_local],
+        best_local,
+        tiebreaks=[
+            s.order_key() if s is not None else None for s in best_local
+        ],
+    )
+    splits = [e[1] for e in elected]
+    if config.clouds.method != "sse":
+        return [(s, []) for s in splits]
+
+    # alive determination directly at the interval owners, one allgather
+    from repro.clouds.gini import gini_lower_bound
+
+    active = [j for j in range(k) if splits[j] is not None]
+    if not active:
+        return [(s, []) for s in splits]
+    my_alive: list[tuple[int, tuple]] = []
+    for j in active:
+        gini_min = elected[j][0]
+        total = np.asarray(counts_list[j], dtype=np.float64)
+        for (jj, name), (lo, hist, vmin, vmax) in blocks.items():
+            if jj != j:
+                continue
+            bounds = locals_list[j].numeric[name].boundaries
+            cum = base[(j, name)][None, :] + np.cumsum(hist, axis=0)
+            left = cum - hist
+            ctx.charge_compute(ops=hist.shape[0] * c * (2 ** min(c, 16)))
+            for i in range(hist.shape[0]):
+                count = int(hist[i].sum())
+                if count < 2 or not vmin[i] < vmax[i]:
+                    continue
+                est = gini_lower_bound(
+                    left[i].astype(np.float64),
+                    hist[i].astype(np.float64),
+                    total,
+                )
+                if est < gini_min:
+                    idx = lo + i
+                    my_alive.append(
+                        (
+                            j,
+                            (
+                                name,
+                                idx,
+                                float(bounds[idx - 1]) if idx > 0 else -np.inf,
+                                float(bounds[idx]) if idx < len(bounds) else np.inf,
+                                left[i].astype(np.float64),
+                                count,
+                                float(est),
+                            ),
+                        )
+                    )
+    gathered = comm.allgather(my_alive)
+    alive_by_node: list[list[AliveInterval]] = [[] for _ in range(k)]
+    for chunk in gathered:
+        for j, enc in chunk:
+            alive_by_node[j].extend(_decode_alive([enc]))
+    for lst in alive_by_node:
+        lst.sort(key=lambda iv: (iv.attribute, iv.index))
+    return [(splits[j], alive_by_node[j]) for j in range(k)]
+
+
+def _exchange_allreduce_level(
+    ctx: RankContext,
+    schema: Schema,
+    locals_list: list[NodeStats],
+    counts_list: list[np.ndarray],
+    config: PCloudsConfig,
+) -> list[tuple[Split | None, list[AliveInterval]]]:
+    from repro.clouds.ss import find_split_ss
+
+    k = len(locals_list)
+    payload: dict[tuple[int, str], object] = {}
+    for j, local in enumerate(locals_list):
+        for a in schema.attributes:
+            if a.is_numeric:
+                ns = local.numeric[a.name]
+                payload[(j, a.name)] = (ns.hist, ns.vmin, ns.vmax)
+            else:
+                payload[(j, a.name)] = local.categorical[a.name]
+    combined = ctx.comm.allreduce(payload, op=_merge_stat_dicts)
+    ctx.charge_compute(
+        ops=sum(
+            (v[0].size if isinstance(v, tuple) else v.size)
+            for v in combined.values()
+        )
+        * np.log2(max(ctx.comm.size, 2))
+    )
+    out: list[tuple[Split | None, list[AliveInterval]]] = []
+    for j in range(k):
+        stats = NodeStats(total=np.asarray(counts_list[j], dtype=np.int64))
+        for a in schema.attributes:
+            if a.is_numeric:
+                hist, vmin, vmax = combined[(j, a.name)]
+                stats.numeric[a.name] = NumericStats(
+                    boundaries=locals_list[j].numeric[a.name].boundaries,
+                    hist=hist,
+                    vmin=vmin,
+                    vmax=vmax,
+                )
+            else:
+                stats.categorical[a.name] = combined[(j, a.name)]
+        split = find_split_ss(stats, schema, config.clouds.enumerate_limit)
+        q_total = sum(ns.n_intervals for ns in stats.numeric.values())
+        ctx.charge_compute(ops=3 * q_total * schema.n_classes)
+        if split is None or config.clouds.method != "sse":
+            out.append((split, []))
+            continue
+        alive = determine_alive_intervals(stats, schema, split.gini)
+        ctx.charge_compute(
+            ops=q_total * schema.n_classes * (2 ** min(schema.n_classes, 16))
+        )
+        alive.sort(key=lambda iv: (iv.attribute, iv.index))
+        out.append((split, alive))
+    return out
 
 
 # -- alive-interval wire format ---------------------------------------------
