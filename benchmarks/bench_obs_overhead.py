@@ -1,0 +1,185 @@
+"""Instrumentation overhead gate: metered vs unmetered wall time.
+
+The live metrics registry (:mod:`repro.obs`) promises to be cheap enough
+to leave on: per-rank shards with plain dict updates, byte accounting
+read off :class:`~repro.cluster.stats.RankStats` deltas instead of
+payload re-walks, and zero work on the unmetered path (a single
+``if ctx.observers:`` test per driver hook). This bench measures real
+wall-clock time of the same fit with ``metrics=False`` and
+``metrics=True``. Shared CI runners make single timings noisy (±10%
+observed), so the estimator is the **median ratio over temporally
+adjacent (plain, metered) pairs**: pairing cancels slow host-load
+drift, the median discards contention spikes. The bench also verifies
+the trees are bit-identical and the simulated elapsed times equal
+(instrumentation must never advance the simulated clocks).
+
+Run standalone (CI smoke uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--quick]
+
+Exits non-zero if metered wall time exceeds unmetered by more than
+``--max-overhead`` (default 5%), if the trees differ, or if the
+simulated elapsed time changes. A point over the threshold is
+re-measured up to twice with more pairs, keeping the lowest median —
+noise only inflates the estimate, a real regression survives every
+retry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import ExperimentConfig, run_pclouds  # noqa: E402
+from repro.bench.reporting import format_table  # noqa: E402
+
+FULL_POINTS = [(18_000, 8), (36_000, 8)]
+QUICK_POINTS = [(6_000, 4)]
+
+
+def time_point(cfg: ExperimentConfig, repeats: int) -> tuple[dict, dict, float]:
+    """Run ``repeats`` adjacent (plain, metered) pairs; the overhead
+    estimate is the median of the per-pair wall-time ratios. Also
+    returns the per-mode artifacts for the identical-output checks
+    (from the last run of each mode)."""
+    ratios = []
+    best = {False: float("inf"), True: float("inf")}
+    res = {}
+    for _ in range(repeats):
+        wall = {}
+        for metrics in (False, True):
+            t0 = time.perf_counter()
+            res[metrics] = run_pclouds(cfg, metrics=metrics)
+            wall[metrics] = time.perf_counter() - t0
+            best[metrics] = min(best[metrics], wall[metrics])
+        ratios.append(wall[True] / wall[False])
+    plain, metered = (
+        {
+            "wall_s": best[m],
+            "elapsed": res[m].elapsed,
+            "_tree": res[m].tree.to_dict(),  # stripped before serialization
+        }
+        for m in (False, True)
+    )
+    return plain, metered, statistics.median(ratios) - 1.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="small grid for the CI smoke job",
+    )
+    ap.add_argument(
+        "--repeats", type=int, default=5,
+        help="number of (plain, metered) timing pairs per grid point",
+    )
+    ap.add_argument(
+        "--max-overhead", type=float, default=0.05,
+        help="fail if (metered - plain) / plain exceeds this fraction",
+    )
+    ap.add_argument(
+        "--out", default="BENCH_obs_overhead.json",
+        help="output JSON path",
+    )
+    ap.add_argument("--scale", type=float, default=200.0)
+    args = ap.parse_args(argv)
+
+    grid = QUICK_POINTS if args.quick else FULL_POINTS
+
+    points = []
+    failures = []
+    for n, p in grid:
+        cfg = ExperimentConfig(n_records=n, n_ranks=p, scale=args.scale, seed=0)
+        # warm-up pass so imports / numpy first-call costs are not
+        # charged to whichever mode happens to run first
+        run_pclouds(cfg)
+        plain, metered, overhead = time_point(cfg, args.repeats)
+        for retry in range(2):
+            if overhead <= args.max_overhead:
+                break
+            # re-measure with more pairs and keep the lowest median:
+            # host-load noise only ever *adds* time, so of several
+            # estimates of the same deterministic workload the lowest is
+            # the least contaminated; a real regression inflates all of
+            # them
+            print(
+                f"n={n} p={p}: overhead {overhead:.1%} over threshold, "
+                f"re-measuring with {2 * args.repeats} pairs "
+                f"(retry {retry + 1}/2)"
+            )
+            plain, metered, remeasured = time_point(cfg, 2 * args.repeats)
+            overhead = min(overhead, remeasured)
+        identical = plain.pop("_tree") == metered.pop("_tree")
+        point = {
+            "n_records": n,
+            "n_ranks": p,
+            "plain": plain,
+            "metered": metered,
+            "identical_trees": identical,
+            "overhead": overhead,
+        }
+        points.append(point)
+        where = f"n={n} p={p}"
+        if not identical:
+            failures.append(f"{where}: trees differ with metrics enabled")
+        if metered["elapsed"] != plain["elapsed"]:
+            failures.append(
+                f"{where}: simulated elapsed changed "
+                f"({metered['elapsed']!r} != {plain['elapsed']!r})"
+            )
+        if overhead > args.max_overhead:
+            failures.append(
+                f"{where}: instrumentation overhead {overhead:.1%} exceeds "
+                f"{args.max_overhead:.0%}"
+            )
+
+    print(
+        "Metrics instrumentation overhead "
+        "(median ratio over %d interleaved pairs; times are best-of)" % args.repeats
+    )
+    rows = [
+        [
+            str(pt["n_records"]),
+            str(pt["n_ranks"]),
+            f"{pt['plain']['wall_s']:.3f}",
+            f"{pt['metered']['wall_s']:.3f}",
+            f"{pt['overhead']:+.1%}",
+            "yes" if pt["identical_trees"] else "NO",
+        ]
+        for pt in points
+    ]
+    print(
+        format_table(
+            ["records", "p", "plain(s)", "metered(s)", "overhead", "same tree"],
+            rows,
+        )
+    )
+
+    payload = {
+        "benchmark": "obs_overhead",
+        "quick": bool(args.quick),
+        "repeats": args.repeats,
+        "max_overhead": args.max_overhead,
+        "scale": args.scale,
+        "points": points,
+        "ok": not failures,
+        "failures": failures,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

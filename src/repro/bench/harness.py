@@ -35,6 +35,7 @@ __all__ = [
     "scaled_models",
     "build_cluster",
     "run_pclouds",
+    "bench_payload",
     "speedup_series",
 ]
 
@@ -116,12 +117,17 @@ def build_cluster(cfg: ExperimentConfig, row_nbytes: int) -> Cluster:
     )
 
 
-def run_pclouds(cfg: ExperimentConfig, *, trace: bool = False) -> PCloudsResult:
+def run_pclouds(
+    cfg: ExperimentConfig, *, trace: bool = False, metrics: bool = False
+) -> PCloudsResult:
     """Generate data, distribute it, and fit pCLOUDS once.
 
     ``trace=True`` records the fit's full event stream (comm + disk +
     phases) on ``result.tracers`` — the Fig. 1–3 benches use it to emit
-    phase-attributed timelines and Perfetto exports.
+    phase-attributed timelines and Perfetto exports. ``metrics=True``
+    runs under the live metrics registry and health monitor
+    (:mod:`repro.obs`); embed ``result.metrics_snapshot()`` in BENCH
+    payloads via :func:`bench_payload`.
     """
     schema = quest_schema()
     cols, labels = generate_quest(
@@ -145,7 +151,23 @@ def run_pclouds(cfg: ExperimentConfig, *, trace: bool = False) -> PCloudsResult:
             frontier_batching=cfg.frontier_batching,
         )
     )
-    return pc.fit(dataset, seed=cfg.seed + 2, trace=trace)
+    return pc.fit(dataset, seed=cfg.seed + 2, trace=trace, metrics=metrics)
+
+
+def bench_payload(result: PCloudsResult, **extra) -> dict:
+    """Standard BENCH_*.json payload for one fit: elapsed time, node
+    counts, and — when the fit was metered — the merged metrics snapshot
+    plus the health roll-up."""
+    payload = {
+        "elapsed_s": result.elapsed,
+        "n_large_nodes": result.n_large_nodes,
+        "n_small_tasks": result.n_small_tasks,
+        "n_restarts": result.n_restarts,
+        **extra,
+    }
+    if result.metrics is not None:
+        payload["metrics"] = result.metrics_snapshot()
+    return payload
 
 
 @dataclass

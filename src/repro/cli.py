@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the workflows the paper's users would run::
+Seven subcommands cover the workflows the paper's users would run::
 
     repro generate --records 50000 --function 2 --out data.npz
     repro train data.npz --builder pclouds --ranks 8 --tree-out tree.json
@@ -8,6 +8,7 @@ Six subcommands cover the workflows the paper's users would run::
     repro speedup --records 18000 --ranks 1 2 4 8
     repro trace --records 4000 --ranks 4 --out trace.json
     repro chaos --records 4000 --ranks 4 --seeds 0 1 2
+    repro health --records 8000 --ranks 8 --prom-out metrics.prom
 
 Datasets travel as ``.npz`` archives (one array per attribute column plus
 ``labels``); trees as the JSON wire format of
@@ -273,6 +274,69 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    """Run a metered synthetic fit and render the health report: per-level
+    load imbalance, I/O amplification, and collective cost drift against
+    the Table-1 model."""
+    import json
+
+    from repro.obs.health import HealthThresholds
+    from repro.obs.report import render_health_markdown
+
+    thresholds = HealthThresholds(
+        imbalance=args.imbalance,
+        io_amplification=args.io_amplification,
+        drift_low=args.drift_low,
+        drift_high=args.drift_high,
+    )
+    cfg = ExperimentConfig(
+        n_records=args.records, n_ranks=args.ranks, scale=args.scale,
+        seed=args.seed, frontier_batching=args.frontier_batching,
+    )
+    from repro.bench.harness import build_cluster
+
+    schema = quest_schema()
+    cols, labels = generate_quest(
+        cfg.n_records, cfg.function, seed=cfg.seed, noise=cfg.noise
+    )
+    cluster = build_cluster(cfg, schema.row_nbytes())
+    dataset = DistributedDataset.create(
+        cluster, schema, cols, labels, seed=cfg.seed + 1
+    )
+    pc = PClouds(
+        PCloudsConfig(
+            clouds=CloudsConfig(
+                method=cfg.method,
+                q_root=cfg.resolved_q_root(),
+                sample_size=cfg.resolved_sample(),
+                min_node=cfg.min_node,
+                purity=cfg.purity,
+            ),
+            q_switch=cfg.q_switch,
+            exchange=cfg.exchange,
+            frontier_batching=cfg.frontier_batching,
+        )
+    )
+    pc_result = pc.fit(
+        dataset, seed=cfg.seed + 2, metrics=True, health=thresholds
+    )
+    print(render_health_markdown(
+        pc_result.health,
+        title=f"Run health: {args.records:,} records on {args.ranks} ranks",
+    ))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(pc_result.metrics_snapshot(), fh, indent=2, default=float)
+        print(f"wrote metrics JSON to {args.json_out}")
+    if args.prom_out:
+        with open(args.prom_out, "w") as fh:
+            fh.write(pc_result.prometheus())
+        print(f"wrote Prometheus text exposition to {args.prom_out}")
+    if not pc_result.health.healthy and args.strict:
+        return 1
+    return 0
+
+
 # -- parser ---------------------------------------------------------------------
 
 
@@ -346,6 +410,41 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
     c.add_argument("--scale", type=float, default=200.0, help="cost-model scale")
     c.set_defaults(func=cmd_chaos)
+
+    h = sub.add_parser(
+        "health",
+        help="metered fit + online health report: load imbalance, "
+        "I/O amplification, cost-model drift vs Table 1",
+    )
+    h.add_argument("--records", type=int, default=8000)
+    h.add_argument("--ranks", type=int, default=8)
+    h.add_argument("--scale", type=float, default=200.0, help="cost-model scale")
+    h.add_argument("--seed", type=int, default=0)
+    h.add_argument(
+        "--frontier-batching", default="level", choices=["level", "per_node"]
+    )
+    h.add_argument(
+        "--imbalance", type=float, default=2.0,
+        help="alert when a level's max/mean busy ratio exceeds this",
+    )
+    h.add_argument(
+        "--io-amplification", type=float, default=8.0,
+        help="alert when level I/O bytes exceed this multiple of live bytes",
+    )
+    h.add_argument(
+        "--drift-low", type=float, default=0.9,
+        help="alert when observed/predicted collective cost falls below this",
+    )
+    h.add_argument(
+        "--drift-high", type=float, default=1.1,
+        help="alert when observed/predicted collective cost exceeds this",
+    )
+    h.add_argument("--json-out", help="write the merged metrics snapshot JSON")
+    h.add_argument("--prom-out", help="write Prometheus text exposition")
+    h.add_argument(
+        "--strict", action="store_true", help="exit nonzero on any alert"
+    )
+    h.set_defaults(func=cmd_health)
 
     return parser
 

@@ -44,6 +44,8 @@ class RankContext:
     rng : per-rank numpy Generator, seeded from (cluster seed, rank).
     stats : resource counters.
     timer : phase attribution of simulated time.
+    observers : attached instrumentation (tracers, metrics recorders);
+        driver programs broadcast milestones to them via :meth:`notify`.
     """
 
     def __init__(
@@ -70,6 +72,17 @@ class RankContext:
         self.memory = MemoryBudget(limit=memory_limit)
         self.rng = np.random.default_rng(np.random.SeedSequence([seed, rank]))
         self.timer = PhaseTimer(self.clock)
+        self.observers: list[Any] = []
+
+    def notify(self, event: str, *args: Any, **kwargs: Any) -> None:
+        """Deliver a driver milestone (``begin_level``, ``end_level``,
+        ``on_survival``, ...) to every attached observer that implements
+        it. Free when nothing is attached; observers must not advance the
+        clock or touch the rng, so notified runs stay bit-identical."""
+        for obs in self.observers:
+            fn = getattr(obs, event, None)
+            if fn is not None:
+                fn(*args, **kwargs)
 
     def charge_compute(self, ops: float = 0.0, seconds: float = 0.0) -> None:
         """Charge local CPU work, by op count and/or directly in seconds."""

@@ -24,6 +24,7 @@ class RankStats:
     bytes_written: int = 0
     io_calls: int = 0
     io_retries: int = 0  # transient-disk-error retries (backoff charged)
+    crc_failures: int = 0  # chunk CRC mismatches detected on fetch
 
     bytes_sent: int = 0
     bytes_received: int = 0

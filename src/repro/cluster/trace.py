@@ -66,6 +66,7 @@ class TraceEvent:
     comm: str | None = None  # communicator label ("world", "world/0,1", ...)
     sent: int = 0  # bytes this rank sent (comm) / wrote (disk)
     received: int = 0  # bytes this rank received (comm) / read (disk)
+    level: int | None = None  # frontier level open when the event happened
 
     @property
     def duration(self) -> float:
@@ -84,6 +85,9 @@ class Tracer:
     events: list[TraceEvent] = field(default_factory=list)
     #: PhaseTimer consulted for the open phase when recording events.
     phase_source: Any = None
+    #: frontier level open right now (driver-maintained via the
+    #: begin_level/end_level observer notifications); stamps every event.
+    level: int | None = None
     # bytes already attributed to recorded comm events; lets an outer
     # primitive (split) subtract what its nested calls already logged.
     attributed_sent: int = 0
@@ -117,6 +121,7 @@ class Tracer:
                 comm=comm,
                 sent=int(sent),
                 received=int(received),
+                level=self.level,
             )
         )
         if kind == "comm":
@@ -143,6 +148,17 @@ class Tracer:
         """One injected fault (:mod:`repro.cluster.faults`) firing at
         simulated time ``t`` on this rank."""
         self.record(op, 0, t, t, kind="fault")
+
+    # -- driver observer hooks (ctx.notify) ----------------------------------
+    def begin_level(self, level: int, *_args: Any) -> None:
+        self.level = level
+
+    def end_level(self) -> None:
+        self.level = None
+
+    def begin_attempt(self, _attempt: int) -> None:
+        # a crashed attempt may leave a level open; the restart closes it
+        self.level = None
 
     # -- views ---------------------------------------------------------------
     def comm_events(self) -> list[TraceEvent]:
@@ -280,6 +296,7 @@ def attach_tracers(contexts: list[RankContext]) -> list[Tracer]:
         ctx.comm = _TracingComm(ctx.comm, tracer)
         ctx.disk.tracer = tracer
         ctx.timer.tracer = tracer
+        ctx.observers.append(tracer)  # receives frontier-level milestones
         tracers.append(tracer)
     return tracers
 

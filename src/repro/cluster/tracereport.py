@@ -24,12 +24,35 @@ from .trace import Tracer
 __all__ = [
     "OpRow",
     "RankTotals",
+    "LevelRow",
     "TraceReport",
     "to_chrome_trace",
     "write_chrome_trace",
 ]
 
 _NO_PHASE = "(no phase)"
+
+
+@dataclass(frozen=True)
+class LevelRow:
+    """Aggregate over all ranks for one frontier level (events recorded
+    while the driver had that level open; ``level is None`` groups
+    everything outside the frontier loop — preprocessing, checkpoints,
+    the small-task phase and assembly)."""
+
+    level: int | None
+    comm_count: int
+    comm_time: float
+    comm_sent: int
+    comm_received: int
+    disk_count: int
+    disk_time: float
+    disk_read: int
+    disk_written: int
+
+    @property
+    def name(self) -> str:
+        return "outside" if self.level is None else str(self.level)
 
 
 @dataclass(frozen=True)
@@ -158,6 +181,44 @@ class TraceReport:
             out[ph] = (mx, mean, mx / mean if mean > 0 else 1.0)
         return out
 
+    def level_rollup(self) -> list[LevelRow]:
+        """Comm and disk activity grouped by frontier level, in level
+        order with the outside-the-loop bucket last. Levels are stamped
+        on events by the driver's ``begin_level``/``end_level``
+        notifications, so runs traced without a level-aware driver
+        collapse into the single outside bucket."""
+        acc: dict[int | None, list] = {}
+        for t in self.tracers:
+            for e in t.events:
+                if e.kind not in ("comm", "disk"):
+                    continue
+                cell = acc.setdefault(e.level, [0, 0.0, 0, 0, 0, 0.0, 0, 0])
+                if e.kind == "comm":
+                    cell[0] += 1
+                    cell[1] += e.duration
+                    cell[2] += e.sent
+                    cell[3] += e.received
+                else:
+                    cell[4] += 1
+                    cell[5] += e.duration
+                    cell[6] += e.received  # disk events: received = read
+                    cell[7] += e.sent  # sent = written
+        ordered = sorted(acc, key=lambda lv: (lv is None, lv if lv is not None else 0))
+        return [
+            LevelRow(
+                level=lv,
+                comm_count=acc[lv][0],
+                comm_time=acc[lv][1],
+                comm_sent=acc[lv][2],
+                comm_received=acc[lv][3],
+                disk_count=acc[lv][4],
+                disk_time=acc[lv][5],
+                disk_read=acc[lv][6],
+                disk_written=acc[lv][7],
+            )
+            for lv in ordered
+        ]
+
     def rank_skew(self) -> float:
         """Spread of the ranks' final event times: (max - min) / max.
         0.0 means all ranks finished together (no trailing idle)."""
@@ -201,6 +262,22 @@ class TraceReport:
                 f"{r.disk_read:>14,} {r.disk_written:>14,} {r.n_events:>8} "
                 f"{r.t_end:>10.3f}"
             )
+        levels = self.level_rollup()
+        if any(row.level is not None for row in levels):
+            lines.append("")
+            lines.append("== traffic by frontier level (all ranks) ==")
+            lines.append(
+                f"{'level':<8} {'comm n':>7} {'comm(s)':>10} {'sent':>14} "
+                f"{'received':>14} {'disk n':>7} {'disk(s)':>10} "
+                f"{'read':>14} {'written':>14}"
+            )
+            for row in levels:
+                lines.append(
+                    f"{row.name:<8} {row.comm_count:>7} {row.comm_time:>10.3f} "
+                    f"{row.comm_sent:>14,} {row.comm_received:>14,} "
+                    f"{row.disk_count:>7} {row.disk_time:>10.3f} "
+                    f"{row.disk_read:>14,} {row.disk_written:>14,}"
+                )
         skew = self.phase_skew()
         if skew:
             lines.append("")
@@ -251,6 +328,8 @@ def to_chrome_trace(tracers: Iterable[Tracer]) -> dict:
                 args["nbytes"] = e.nbytes
                 if e.phase:
                     args["phase"] = e.phase
+            if e.level is not None and e.kind in ("comm", "disk"):
+                args["level"] = e.level
             slices.append(
                 {
                     "name": e.op,

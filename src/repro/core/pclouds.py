@@ -75,6 +75,36 @@ class PCloudsResult:
     n_restarts: int = 0
     #: faults fired by the injector, in firing order (``fit(faults=...)``)
     fault_events: list = field(default_factory=list)
+    #: merged metrics registry when the fit ran with ``metrics=True``
+    metrics: object | None = None
+    #: online health roll-up (imbalance / I/O amplification / cost drift)
+    health: object | None = None
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-ready merged metrics (requires ``fit(..., metrics=True)``);
+        includes the health roll-up under ``"health"``."""
+        if self.metrics is None:
+            raise ValueError("fit was not metered; pass metrics=True to fit()")
+        snap = self.metrics.snapshot()
+        if self.health is not None:
+            snap["health"] = self.health.to_dict()
+        return snap
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition of the merged metrics."""
+        if self.metrics is None:
+            raise ValueError("fit was not metered; pass metrics=True to fit()")
+        from repro.obs.prometheus import to_prometheus
+
+        return to_prometheus(self.metrics)
+
+    def health_markdown(self) -> str:
+        """The ``repro health`` markdown report for this fit."""
+        if self.health is None:
+            raise ValueError("fit was not metered; pass metrics=True to fit()")
+        from repro.obs.report import render_health_markdown
+
+        return render_health_markdown(self.health)
 
     def trace_report(self):
         """Roll-up of the traced run (requires ``fit(..., trace=True)``)."""
@@ -109,6 +139,8 @@ class PClouds:
         faults=None,
         recover: bool = False,
         max_restarts: int = 8,
+        metrics: bool = False,
+        health=None,
     ) -> PCloudsResult:
         """Build the decision tree for a distributed training set.
 
@@ -136,6 +168,15 @@ class PClouds:
         The recovered tree is bit-identical to the fault-free tree; the
         reported ``elapsed`` includes the simulated time lost to the
         failed attempts and to checkpoint traffic.
+
+        ``metrics=True`` runs the fit under the live metrics registry and
+        online health monitor (:mod:`repro.obs`): collective/disk/phase
+        counters land on :attr:`PCloudsResult.metrics`, the per-level
+        imbalance / I/O-amplification / cost-drift indicators on
+        :attr:`PCloudsResult.health`. ``health`` overrides the alert
+        thresholds (a :class:`~repro.obs.health.HealthThresholds`).
+        Metering never advances a simulated clock, so the tree and the
+        elapsed time are bit-identical to an unmetered fit.
         """
         tracers = None
         if trace:
@@ -152,12 +193,29 @@ class PClouds:
                 else FaultInjector(faults, seed=seed)
             )
             injector.attach(dataset.contexts)
+        registry = None
+        recorders: list | None = None
+        monitor = None
+        if metrics:
+            # attached last so the metered wrapper is outermost: its
+            # deltas then include tracer/injector effects underneath
+            from repro.obs.health import HealthMonitor
+            from repro.obs.instrument import attach_metrics
+
+            monitor = HealthMonitor(
+                dataset.n_ranks, dataset.cluster.network, thresholds=health
+            )
+            registry, recorders = attach_metrics(
+                dataset.contexts, monitor=monitor
+            )
         store = CheckpointStore() if recover else None
         failed_time = 0.0
         restarts = 0
         while True:
             if injector is not None:
                 injector.begin_attempt()
+            for c in dataset.contexts:
+                c.notify("begin_attempt", restarts)
             try:
                 run = dataset.cluster.run(
                     _fit_program,
@@ -184,6 +242,27 @@ class PClouds:
             schema=dataset.schema,
             meta={"builder": "pclouds", "n_ranks": dataset.n_ranks},
         )
+        health_report = None
+        if recorders is not None:
+            for rec in recorders:
+                rec.finalize()
+            registry.shard(0).set(
+                "repro_run_elapsed_seconds", (), run.elapsed + failed_time
+            )
+            from repro.obs.health import HealthReport
+
+            health_report = HealthReport.from_monitor(
+                monitor,
+                meta={
+                    "n_ranks": dataset.n_ranks,
+                    "seed": seed,
+                    "exchange": self.config.exchange,
+                    "frontier_batching": self.config.frontier_batching,
+                    "q_switch": self.config.q_switch,
+                    "restarts": restarts,
+                    "elapsed_s": run.elapsed + failed_time,
+                },
+            )
         return PCloudsResult(
             tree=tree,
             elapsed=run.elapsed + failed_time,
@@ -194,6 +273,8 @@ class PClouds:
             tracers=tracers,
             n_restarts=restarts,
             fault_events=list(injector.events) if injector is not None else [],
+            metrics=registry,
+            health=health_report,
         )
 
 
@@ -473,6 +554,17 @@ def _fit_program(
                 ctx, store, f"level-{level}", level,
                 frontier, small, nodes, survival, n_large,
             )
+        this_level = level
+        if ctx.observers:
+            # live bytes at level start feed the I/O-amplification
+            # indicator; checkpoint traffic (above) stays outside the level
+            ctx.notify(
+                "begin_level",
+                this_level,
+                len(frontier),
+                sum(t.columnset.nbytes for t in frontier),
+            )
+        survival_mark = len(survival)
         if config.frontier_batching == "level":
             frontier, n_processed = _process_level(
                 ctx, frontier, schema, config, stopping, q_switch,
@@ -480,6 +572,9 @@ def _fit_program(
             )
             n_large += n_processed
             level += 1
+            if ctx.observers:
+                ctx.notify("on_survival", this_level, survival[survival_mark:])
+                ctx.notify("end_level")
             continue
         next_frontier: list[_LargeTask] = []
         for t in frontier:
@@ -547,6 +642,9 @@ def _fit_program(
             )
         frontier = next_frontier
         level += 1
+        if ctx.observers:
+            ctx.notify("on_survival", this_level, survival[survival_mark:])
+            ctx.notify("end_level")
 
     # one last checkpoint so a crash in the small-node phase does not
     # rewind into the frontier levels

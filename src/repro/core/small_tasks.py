@@ -64,6 +64,12 @@ def process_small_tasks(
     stopping = config.clouds.stopping()
     tasks = sorted(tasks, key=lambda t: t.node_id)
     owner = assign_by_cost([t.build_cost() for t in tasks], comm.size)
+    loads = [0.0] * comm.size
+    for k, t in enumerate(tasks):
+        loads[owner[k]] += t.build_cost()
+    ctx.notify(
+        "on_small_assignment", loads, sum(1 for o in owner if o == comm.rank)
+    )
 
     # one batched all-to-all: every rank reads its local fragment of each
     # task it does not own and ships it to the owner

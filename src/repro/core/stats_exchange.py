@@ -121,6 +121,7 @@ def exchange_node_stats(
     Every rank must call this once per large node with statistics built
     over the *same* interval boundaries.
     """
+    ctx.notify("on_stats_exchange", config.exchange, 1)
     if config.exchange == "attribute":
         return _exchange_attribute_based(ctx, schema, local, total_counts, config)
     if config.exchange == "distributed":
@@ -482,6 +483,7 @@ def exchange_level_stats(
     """
     if not locals_list:
         return []
+    ctx.notify("on_stats_exchange", config.exchange, len(locals_list))
     if config.exchange == "attribute":
         return _exchange_attribute_level(
             ctx, schema, locals_list, counts_list, config

@@ -22,7 +22,52 @@ from repro.cluster.compute import ComputeModel
 from repro.cluster.diskmodel import DiskModel
 from repro.cluster.network import NetworkModel
 
-__all__ = ["DncCostModel", "TreeShape"]
+__all__ = ["DncCostModel", "TreeShape", "collective_cost"]
+
+
+#: ops priced by the reduction row of Table 1 (alpha·log p + beta·m)
+_COMBINE_OPS = frozenset(
+    {"reduce", "allreduce", "allreduce_minloc", "allreduce_minloc_many"}
+)
+
+
+def collective_cost(
+    network: NetworkModel,
+    op: str,
+    *,
+    p: int,
+    m: float = 0.0,
+    out_bytes: float = 0.0,
+    in_bytes: float = 0.0,
+) -> float:
+    """Table-1 predicted cost of one collective primitive, by name.
+
+    Maps the communicator's op vocabulary onto the paper's collective
+    cost rows, exactly as :class:`repro.cluster.comm.Comm` charges them:
+    ``m`` is the per-rank message size the row takes (max contribution
+    for allgather/gather/scatter, the reduced vector for combines),
+    while ``alltoall`` takes the rank's injected/drained byte totals.
+    The health monitor (:mod:`repro.obs.health`) divides *observed*
+    collective busy time by this prediction to compute cost-model
+    drift; :class:`DncCostModel` builds its strategy estimates from the
+    same rows, so drift is measured against the exact formulas the
+    Section-3 analysis argues from.
+    """
+    if op == "barrier":
+        return network.global_combine(0, p)
+    if op == "bcast":
+        return network.broadcast(m, p)
+    if op in ("gather", "scatter"):
+        return network.gather(m, p)
+    if op == "allgather":
+        return network.all_to_all_broadcast(m, p)
+    if op in _COMBINE_OPS:
+        return network.global_combine(m, p)
+    if op == "scan":
+        return network.prefix_sum(m, p)
+    if op == "alltoall":
+        return network.alltoallv(out_bytes, in_bytes, p)
+    raise ValueError(f"no Table-1 cost row for collective {op!r}")
 
 
 @dataclass(frozen=True)

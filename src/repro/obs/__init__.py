@@ -1,0 +1,52 @@
+"""Live observability for the simulated machine (metrics + health).
+
+Three layers, each usable on its own:
+
+* :mod:`repro.obs.registry` — a low-overhead metrics registry (counters,
+  gauges, fixed-bucket histograms) sharded per rank so recording never
+  takes a lock; shards merge deterministically because every value is a
+  function of the simulated execution alone.
+* :mod:`repro.obs.instrument` — :func:`attach_metrics` wires the
+  registry into a run's rank contexts: every collective (bytes, latency,
+  sync idle), every disk access (bytes, time, retries), every phase and
+  every frontier level are recorded with ``{rank, op, phase, level}``
+  labels.
+* :mod:`repro.obs.health` — an online :class:`HealthMonitor` that, as
+  each frontier level completes, derives load-imbalance ratio, I/O
+  amplification and cost-model drift against the Table-1 predictions of
+  :mod:`repro.dnc.cost`, raising structured alerts past configurable
+  thresholds.
+
+Exports: :func:`repro.obs.prometheus.to_prometheus` (text exposition
+format), JSON snapshots (``MetricsRegistry.snapshot``), and the
+``repro health`` CLI's markdown report (:mod:`repro.obs.report`).
+"""
+
+from .health import (
+    HealthAlert,
+    HealthMonitor,
+    HealthReport,
+    HealthThresholds,
+    LevelHealth,
+)
+from .instrument import MetricsRecorder, attach_metrics
+from .prometheus import to_prometheus
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, RankShard
+from .report import render_health_markdown
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HealthAlert",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthThresholds",
+    "LevelHealth",
+    "MetricsRecorder",
+    "MetricsRegistry",
+    "RankShard",
+    "attach_metrics",
+    "render_health_markdown",
+    "to_prometheus",
+]

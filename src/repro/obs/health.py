@@ -1,0 +1,404 @@
+"""Online health monitoring: imbalance, I/O amplification, cost drift.
+
+The paper's aggregate invariants, checked while a run is in flight:
+
+* **Load imbalance** (Lemma 2): per frontier level, the max/mean ratio
+  of the ranks' busy time. Data parallelism over random shares should
+  keep this near 1.0.
+* **I/O amplification**: bytes moved through the local disks during a
+  level divided by the live dataset bytes at that level. Data
+  parallelism bounds this by the per-level pass count (stats read +
+  member extraction + partition read/write ≈ 4×); an exploding ratio
+  means the out-of-core machinery is re-reading.
+* **Cost-model drift**: observed collective busy time divided by the
+  Table-1 prediction (:func:`repro.dnc.cost.collective_cost`) applied
+  to the *measured* payload bytes. Drift ≈ 1.0 means the run's
+  communication costs exactly what the paper's analysis says it
+  should; sustained drift flags either a modelling bug or a primitive
+  being used outside its analyzed regime.
+
+The :class:`HealthMonitor` is *online*: each rank publishes a
+:class:`LevelSummary` as it leaves a frontier level, and the level is
+evaluated the moment the last rank's summary lands. Rank threads only
+ever publish summaries of levels they have finished, and the
+communicator's barriers order level N's publishes before any rank can
+finish level N+1, so evaluation order — and every derived number — is
+deterministic. Alerts are structured (:class:`HealthAlert`), never
+raised as exceptions: an unhealthy run completes and reports.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.cluster.network import NetworkModel
+from repro.dnc.cost import collective_cost
+
+__all__ = [
+    "CollectiveSample",
+    "LevelSummary",
+    "LevelHealth",
+    "HealthAlert",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthThresholds",
+    "drift_by_op",
+]
+
+#: pseudo-level for collectives outside the frontier loop (preprocess,
+#: checkpointing, the small-task phase, final assembly)
+OUTSIDE_LEVEL = -1
+
+
+class CollectiveSample(NamedTuple):
+    """One collective invocation as seen by one rank.
+
+    A ``NamedTuple`` (not a frozen dataclass) because the recorder
+    builds one per metered collective call — tuple construction keeps
+    that hot path cheap.
+    """
+
+    comm: str  # communicator label ("world", "world/0,1", ...)
+    seq: int  # invocation index within that communicator on this rank
+    op: str
+    rank: int
+    level: int  # frontier level, OUTSIDE_LEVEL when not in the loop
+    sent: int
+    received: int
+    busy: float  # charged transfer time (duration minus sync idle)
+    idle: float  # time spent waiting for slower participants
+    duration: float  # wall simulated time of the call
+    p: int  # communicator size
+
+
+@dataclass(frozen=True)
+class LevelSummary:
+    """One rank's accounting for one frontier level."""
+
+    rank: int
+    attempt: int
+    level: int
+    busy: float  # compute + io + comm seconds during the level
+    idle: float
+    io_bytes: int  # disk bytes read + written during the level
+    live_bytes: int  # local frontier fragment bytes at level start
+    n_frontier: int  # frontier width (replicated, same on all ranks)
+    samples: tuple[CollectiveSample, ...] = ()
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Alerting thresholds (all configurable; defaults are loose enough
+    that a fault-free balanced run stays silent)."""
+
+    imbalance: float = 2.0
+    io_amplification: float = 8.0
+    drift_low: float = 0.9
+    drift_high: float = 1.1
+    #: levels whose mean busy time is below this are too small for the
+    #: ratio indicators to be meaningful and are not alerted on
+    min_level_busy: float = 1e-6
+
+
+@dataclass(frozen=True)
+class HealthAlert:
+    """One threshold crossing, in evaluation order."""
+
+    indicator: str  # "imbalance" | "io_amplification" | "drift"
+    level: int  # frontier level (OUTSIDE_LEVEL for run-wide)
+    op: str | None  # collective op for drift alerts
+    value: float
+    threshold: float
+    message: str
+
+    @property
+    def severity(self) -> float:
+        """Relative distance past the threshold (for ranking)."""
+        if self.threshold <= 0:
+            return abs(self.value)
+        return abs(self.value - self.threshold) / self.threshold
+
+
+@dataclass(frozen=True)
+class LevelHealth:
+    """Derived indicators for one completed frontier level."""
+
+    attempt: int
+    level: int
+    n_frontier: int
+    busy_max: float
+    busy_mean: float
+    imbalance: float  # max/mean busy (1.0 = perfect)
+    io_bytes: int
+    live_bytes: int
+    io_amplification: float  # io_bytes / live_bytes
+    drift: float  # observed/predicted over the level's collectives
+    drift_ops: dict[str, tuple[float, float]]  # op -> (observed, predicted)
+    alerts: tuple[HealthAlert, ...] = ()
+
+
+def _predict_group(
+    network: NetworkModel, op: str, group: list[CollectiveSample]
+) -> float:
+    """Table-1 predicted cost, summed over the participating ranks, for
+    one collective invocation. The per-rank byte counters are inverted
+    back to the formula's ``m`` exactly as the communicator derived them
+    (max contribution for gather/scatter/allgather, per-rank totals for
+    the irregular alltoall)."""
+    p = group[0].p
+    if op == "alltoall":
+        return sum(
+            collective_cost(
+                network, op, p=p, out_bytes=s.sent, in_bytes=s.received
+            )
+            for s in group
+        )
+    if op == "bcast":
+        m = max(s.received for s in group)
+    elif op == "gather":
+        m = max(s.sent for s in group)
+    elif op == "scatter":
+        m = max(s.received for s in group)
+    elif op == "allgather":
+        m = max(s.sent for s in group) / (p - 1) if p > 1 else 0.0
+    elif op == "barrier":
+        m = 0.0
+    else:  # combines, scans: every rank contributes the reduced vector
+        return sum(collective_cost(network, op, p=p, m=s.sent) for s in group)
+    return len(group) * collective_cost(network, op, p=p, m=m)
+
+
+def drift_by_op(
+    network: NetworkModel, samples: list[CollectiveSample]
+) -> dict[str, tuple[float, float]]:
+    """Aggregate ``op -> (observed busy, Table-1 predicted)`` seconds.
+
+    Invocations are aligned across ranks by ``(comm, seq)`` — the SPMD
+    contract guarantees every rank of a communicator logs the same
+    collective sequence — so per-invocation maxima (gather's ``m``) are
+    reconstructed exactly."""
+    groups: dict[tuple[str, int], list[CollectiveSample]] = {}
+    for s in samples:
+        groups.setdefault((s.comm, s.seq), []).append(s)
+    out: dict[str, tuple[float, float]] = {}
+    for (_, _), group in sorted(groups.items()):
+        op = group[0].op
+        observed = sum(s.busy for s in group)
+        predicted = _predict_group(network, op, group)
+        if observed == 0.0 and predicted == 0.0:
+            continue
+        o, pr = out.get(op, (0.0, 0.0))
+        out[op] = (o + observed, pr + predicted)
+    return out
+
+
+class HealthMonitor:
+    """Collects per-rank level summaries and evaluates indicators the
+    moment a level is complete (all ranks reported)."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        network: NetworkModel,
+        thresholds: HealthThresholds | None = None,
+    ) -> None:
+        self.n_ranks = n_ranks
+        self.network = network
+        self.thresholds = thresholds or HealthThresholds()
+        self.levels: list[LevelHealth] = []
+        self.alerts: list[HealthAlert] = []
+        self._lock = threading.Lock()
+        self._pending: dict[tuple[int, int], dict[int, LevelSummary]] = {}
+        self._outside: list[CollectiveSample] = []
+
+    # -- publishing ----------------------------------------------------------
+    def publish(self, summary: LevelSummary) -> None:
+        """Called by each rank as it finishes a level. Thread-safe; the
+        last rank to report triggers the evaluation, so results only
+        depend on the summaries, never on host scheduling."""
+        with self._lock:
+            key = (summary.attempt, summary.level)
+            got = self._pending.setdefault(key, {})
+            got[summary.rank] = summary
+            if len(got) == self.n_ranks:
+                del self._pending[key]
+                self._evaluate(key[0], key[1], [got[r] for r in sorted(got)])
+
+    def publish_outside(self, samples: list[CollectiveSample]) -> None:
+        """Collectives recorded outside the frontier loop (preprocess,
+        checkpoints, small tasks, assembly); they join the run-wide
+        drift aggregate."""
+        with self._lock:
+            self._outside.extend(samples)
+
+    # -- evaluation ----------------------------------------------------------
+    def _evaluate(
+        self, attempt: int, level: int, summaries: list[LevelSummary]
+    ) -> None:
+        th = self.thresholds
+        busys = [s.busy for s in summaries]
+        busy_max = max(busys)
+        busy_mean = sum(busys) / len(busys)
+        imbalance = busy_max / busy_mean if busy_mean > 0 else 1.0
+        io_bytes = sum(s.io_bytes for s in summaries)
+        live_bytes = sum(s.live_bytes for s in summaries)
+        io_amp = io_bytes / live_bytes if live_bytes > 0 else 0.0
+        samples = [smp for s in summaries for smp in s.samples]
+        ops = drift_by_op(self.network, samples)
+        obs = sum(o for o, _ in ops.values())
+        pred = sum(p for _, p in ops.values())
+        drift = obs / pred if pred > 0 else 1.0
+
+        alerts: list[HealthAlert] = []
+        significant = busy_mean >= th.min_level_busy
+        if significant and imbalance > th.imbalance:
+            alerts.append(
+                HealthAlert(
+                    "imbalance", level, None, imbalance, th.imbalance,
+                    f"level {level}: busy-time imbalance {imbalance:.2f}× "
+                    f"exceeds {th.imbalance:.2f}× "
+                    f"(max {busy_max:.3f}s vs mean {busy_mean:.3f}s)",
+                )
+            )
+        if significant and live_bytes > 0 and io_amp > th.io_amplification:
+            alerts.append(
+                HealthAlert(
+                    "io_amplification", level, None, io_amp,
+                    th.io_amplification,
+                    f"level {level}: I/O amplification {io_amp:.2f}× "
+                    f"({io_bytes:,} B moved over {live_bytes:,} live B) "
+                    f"exceeds {th.io_amplification:.2f}×",
+                )
+            )
+        for op, (o, p) in sorted(ops.items()):
+            if p <= 0:
+                continue
+            d = o / p
+            if d < th.drift_low or d > th.drift_high:
+                alerts.append(
+                    HealthAlert(
+                        "drift", level, op, d,
+                        th.drift_high if d > 1.0 else th.drift_low,
+                        f"level {level}: {op} cost drift {d:.3f} outside "
+                        f"[{th.drift_low:g}, {th.drift_high:g}] "
+                        f"(observed {o:.4g}s vs Table-1 {p:.4g}s)",
+                    )
+                )
+        self.levels.append(
+            LevelHealth(
+                attempt=attempt,
+                level=level,
+                n_frontier=summaries[0].n_frontier,
+                busy_max=busy_max,
+                busy_mean=busy_mean,
+                imbalance=imbalance,
+                io_bytes=io_bytes,
+                live_bytes=live_bytes,
+                io_amplification=io_amp,
+                drift=drift,
+                drift_ops=ops,
+                alerts=tuple(alerts),
+            )
+        )
+        self.alerts.extend(alerts)
+
+    # -- aggregates ----------------------------------------------------------
+    def overall_drift_by_op(self) -> dict[str, tuple[float, float]]:
+        """``op -> (observed, predicted)`` over the whole run: every
+        evaluated level plus the outside-loop collectives."""
+        with self._lock:
+            outside = list(self._outside)
+        out = drift_by_op(self.network, outside)
+        for lh in self.levels:
+            for op, (o, p) in lh.drift_ops.items():
+                oo, pp = out.get(op, (0.0, 0.0))
+                out[op] = (oo + o, pp + p)
+        return out
+
+
+@dataclass
+class HealthReport:
+    """Post-run health roll-up (what ``repro health`` renders)."""
+
+    n_ranks: int
+    levels: list[LevelHealth] = field(default_factory=list)
+    alerts: list[HealthAlert] = field(default_factory=list)
+    drift_ops: dict[str, tuple[float, float]] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_monitor(
+        cls, monitor: HealthMonitor, meta: dict | None = None
+    ) -> "HealthReport":
+        return cls(
+            n_ranks=monitor.n_ranks,
+            levels=list(monitor.levels),
+            alerts=list(monitor.alerts),
+            drift_ops=monitor.overall_drift_by_op(),
+            meta=dict(meta or {}),
+        )
+
+    @property
+    def overall_drift(self) -> float:
+        obs = sum(o for o, _ in self.drift_ops.values())
+        pred = sum(p for _, p in self.drift_ops.values())
+        return obs / pred if pred > 0 else 1.0
+
+    @property
+    def worst_imbalance(self) -> float:
+        return max((lh.imbalance for lh in self.levels), default=1.0)
+
+    @property
+    def worst_io_amplification(self) -> float:
+        return max((lh.io_amplification for lh in self.levels), default=0.0)
+
+    def top_regressions(self, n: int = 5) -> list[HealthAlert]:
+        """The most-regressed indicators, worst first."""
+        return sorted(self.alerts, key=lambda a: -a.severity)[:n]
+
+    @property
+    def healthy(self) -> bool:
+        return not self.alerts
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (merged into BENCH payloads)."""
+        return {
+            "n_ranks": self.n_ranks,
+            "healthy": self.healthy,
+            "overall_drift": self.overall_drift,
+            "worst_imbalance": self.worst_imbalance,
+            "worst_io_amplification": self.worst_io_amplification,
+            "levels": [
+                {
+                    "attempt": lh.attempt,
+                    "level": lh.level,
+                    "n_frontier": lh.n_frontier,
+                    "busy_max": lh.busy_max,
+                    "busy_mean": lh.busy_mean,
+                    "imbalance": lh.imbalance,
+                    "io_bytes": lh.io_bytes,
+                    "live_bytes": lh.live_bytes,
+                    "io_amplification": lh.io_amplification,
+                    "drift": lh.drift,
+                }
+                for lh in self.levels
+            ],
+            "drift_by_op": {
+                op: {"observed": o, "predicted": p, "drift": o / p if p else 1.0}
+                for op, (o, p) in sorted(self.drift_ops.items())
+            },
+            "alerts": [
+                {
+                    "indicator": a.indicator,
+                    "level": a.level,
+                    "op": a.op,
+                    "value": a.value,
+                    "threshold": a.threshold,
+                    "message": a.message,
+                }
+                for a in self.alerts
+            ],
+            "meta": self.meta,
+        }

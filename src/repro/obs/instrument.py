@@ -1,0 +1,561 @@
+"""Hooks that feed the metrics registry and the health monitor.
+
+:func:`attach_metrics` wraps each rank context the way
+:func:`repro.cluster.trace.attach_tracers` does, but writes structured
+*metrics* instead of an event log:
+
+* the communicator is wrapped in :class:`_MeteredComm`, which meters
+  every primitive from :class:`~repro.cluster.stats.RankStats` deltas
+  (bytes, charged transfer time, sync idle) — the byte accounting is
+  therefore exact, never a payload re-walk;
+* the disk's and phase timer's single ``tracer`` sink slots are teed
+  (:class:`_Tee`), so metrics compose with tracing and fault injection;
+* the recorder registers itself as a context *observer*
+  (``ctx.observers``) to receive the driver's frontier notifications
+  (``begin_level`` / ``end_level`` / ``on_survival`` / ...).
+
+Composition order matters: attach tracers first, then the fault
+injector, then metrics — the metered wrapper must be outermost so its
+deltas include injected comm perturbations, and it delegates through
+``__getattr__`` (like ``_FaultyComm``) so the inner wrappers keep
+working.
+
+Nothing in this module advances a simulated clock, touches an rng, or
+alters a payload: a metered run is bit-identical (tree *and* elapsed
+time) to an unmetered one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.machine import RankContext
+
+from .health import OUTSIDE_LEVEL, CollectiveSample, HealthMonitor, LevelSummary
+from .registry import (
+    DEFAULT_BYTES_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RankShard,
+)
+
+__all__ = ["MetricsRecorder", "attach_metrics", "PHASE_LABELS"]
+
+#: driver phase-timer names mapped onto the exported ``phase`` label
+PHASE_LABELS = {
+    "stats": "stats_exchange",
+    "alive": "alive_eval",
+    "partition": "partition",
+    "small_nodes": "small_task",
+}
+
+_COLLECTIVES = (
+    "barrier",
+    "bcast",
+    "scatter",
+    "gather",
+    "allgather",
+    "reduce",
+    "allreduce",
+    "allreduce_minloc",
+    "allreduce_minloc_many",
+    "scan",
+    "alltoall",
+    "split",
+)
+_P2P = ("send", "recv", "isend")
+
+#: metered ops that never join the drift pool: ``split`` because its
+#: deltas include the nested allgather it performs internally, p2p
+#: because sends and receives legitimately differ across ranks
+_NO_DRIFT = ("split",)
+
+
+def _register_metrics(registry: MetricsRegistry) -> None:
+    registry.register(
+        Counter(
+            "repro_collective_calls_total",
+            "Collective invocations",
+            ("rank", "comm", "op", "level", "phase"),
+        ),
+        Counter(
+            "repro_collective_bytes_total",
+            "Bytes moved by collectives",
+            ("rank", "op", "direction"),
+        ),
+        Counter(
+            "repro_collective_busy_seconds_total",
+            "Charged transfer seconds (duration minus sync idle)",
+            ("rank", "op", "level", "phase"),
+        ),
+        Counter(
+            "repro_collective_idle_seconds_total",
+            "Seconds waiting for slower participants",
+            ("rank", "op", "level", "phase"),
+        ),
+        Histogram(
+            "repro_collective_latency_seconds",
+            "Wall simulated duration of collective calls",
+            ("op",),
+        ),
+        Histogram(
+            "repro_collective_payload_bytes",
+            "Per-call payload (max of sent/received)",
+            ("op",),
+            buckets=DEFAULT_BYTES_BUCKETS,
+        ),
+        Counter(
+            "repro_p2p_messages_total", "Point-to-point calls", ("rank", "op")
+        ),
+        Counter(
+            "repro_p2p_bytes_total",
+            "Point-to-point bytes",
+            ("rank", "direction"),
+        ),
+        Counter(
+            "repro_disk_calls_total",
+            "Local-disk accesses (op=read|write|retry)",
+            ("rank", "op", "level", "phase"),
+        ),
+        Counter(
+            "repro_disk_bytes_total",
+            "Local-disk bytes (transfers only, retries excluded)",
+            ("rank", "op", "level", "phase"),
+        ),
+        Counter(
+            "repro_disk_seconds_total",
+            "Charged disk seconds (incl. retry backoff)",
+            ("rank", "op", "level", "phase"),
+        ),
+        Counter("repro_io_retries_total", "Transient-error retries", ("rank",)),
+        Counter(
+            "repro_crc_failures_total",
+            "Chunk CRC verification failures",
+            ("rank",),
+        ),
+        Counter(
+            "repro_faults_total", "Injected faults fired", ("rank", "kind")
+        ),
+        Counter(
+            "repro_phase_seconds_total",
+            "Simulated seconds per closed driver phase",
+            ("rank", "phase"),
+        ),
+        Counter(
+            "repro_level_busy_seconds_total",
+            "Busy seconds per frontier level",
+            ("rank", "level"),
+        ),
+        Counter(
+            "repro_level_io_bytes_total",
+            "Disk bytes per frontier level",
+            ("rank", "level"),
+        ),
+        Counter(
+            "repro_exchange_total",
+            "Statistics exchanges by strategy",
+            ("rank", "strategy"),
+        ),
+        Counter("repro_attempts_total", "Fit attempts (1 + restarts)", ("rank",)),
+        Gauge("repro_frontier_nodes", "Frontier width at a level", ("level",)),
+        Gauge(
+            "repro_frontier_live_bytes",
+            "Local live dataset bytes at level start",
+            ("rank", "level"),
+        ),
+        Gauge(
+            "repro_alive_survival_ratio",
+            "Mean fraction of records in alive intervals at a level",
+            ("level",),
+        ),
+        Gauge(
+            "repro_small_tasks_owned",
+            "Small tasks assigned to this rank (LPT)",
+            ("rank",),
+        ),
+        Gauge(
+            "repro_small_task_cost_load",
+            "Estimated build cost assigned to this rank",
+            ("rank",),
+        ),
+        Gauge(
+            "repro_rank_seconds",
+            "Final per-rank time split",
+            ("rank", "kind"),
+        ),
+        Gauge(
+            "repro_rank_bytes", "Final per-rank byte counters", ("rank", "kind")
+        ),
+        Gauge("repro_run_elapsed_seconds", "Simulated elapsed time of the fit"),
+    )
+
+
+class MetricsRecorder:
+    """Per-rank metrics front-end.
+
+    Owns the rank's :class:`~repro.obs.registry.RankShard`, tracks the
+    open frontier level, logs drift samples for the health monitor, and
+    acts as the disk/timer event sink and the context observer. Only the
+    owning rank thread calls into it (the monitor handles its own
+    locking), so there is no synchronisation here.
+    """
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        shard: RankShard,
+        monitor: HealthMonitor | None = None,
+    ) -> None:
+        self.ctx = ctx
+        self.shard = shard
+        self.monitor = monitor
+        self.rank_label = str(ctx.rank)
+        self._timer = ctx.timer  # hot-path alias (one hop, not two)
+        self.attempt = 0
+        self.level: int | None = None
+        # (op/label, level, open phase-timer name) -> prebuilt label
+        # tuples; invalidated implicitly because the key changes with
+        # the level/phase. Keeps the hot paths at one tuple build + one
+        # dict hit instead of five tuple builds + string mapping.
+        self._coll_keys: dict[tuple, tuple] = {}
+        self._disk_keys: dict[tuple, tuple] = {}
+        self._seq: dict[str, int] = {}
+        self._level_samples: list[CollectiveSample] = []
+        self._outside_samples: list[CollectiveSample] = []
+        self._level_meta: tuple[int, int] = (0, 0)  # (n_frontier, live_bytes)
+        self._busy0 = 0.0
+        self._idle0 = 0.0
+        self._io0 = 0
+
+    # -- label helpers -------------------------------------------------------
+    def _phase(self, default: str) -> str:
+        open_phase = self.ctx.timer.current
+        if open_phase is None:
+            return default
+        return PHASE_LABELS.get(open_phase, open_phase)
+
+    def _level_label(self) -> str:
+        return "-" if self.level is None else str(self.level)
+
+    # -- communicator events (called by _MeteredComm) ------------------------
+    def record_collective(
+        self,
+        label: str,
+        op: str,
+        sent: int,
+        received: int,
+        busy: float,
+        idle: float,
+        duration: float,
+        p: int,
+    ) -> None:
+        shard = self.shard
+        ck = (label, op, self.level, self._timer.current)
+        keys = self._coll_keys.get(ck)
+        if keys is None:
+            rank, lvl, phase = (
+                self.rank_label,
+                self._level_label(),
+                self._phase("collective"),
+            )
+            keys = self._coll_keys[ck] = (
+                (rank, label, op, lvl, phase),  # calls
+                (rank, op, lvl, phase),  # busy / idle seconds
+                (rank, op, "sent"),
+                (rank, op, "received"),
+                (op,),  # histograms
+            )
+        shard.inc("repro_collective_calls_total", keys[0])
+        if sent:
+            shard.inc("repro_collective_bytes_total", keys[2], sent)
+        if received:
+            shard.inc("repro_collective_bytes_total", keys[3], received)
+        shard.inc("repro_collective_busy_seconds_total", keys[1], busy)
+        shard.inc("repro_collective_idle_seconds_total", keys[1], idle)
+        shard.observe("repro_collective_latency_seconds", keys[4], duration)
+        shard.observe("repro_collective_payload_bytes", keys[4], max(sent, received))
+        seq = self._seq.get(label, 0)
+        self._seq[label] = seq + 1
+        if self.monitor is None or op in _NO_DRIFT:
+            return
+        if self.level is None:
+            self._outside_samples.append(
+                CollectiveSample(
+                    label, seq, op, self.ctx.rank, OUTSIDE_LEVEL,
+                    sent, received, busy, idle, duration, p,
+                )
+            )
+        else:
+            self._level_samples.append(
+                CollectiveSample(
+                    label, seq, op, self.ctx.rank, self.level,
+                    sent, received, busy, idle, duration, p,
+                )
+            )
+
+    def record_p2p(self, op: str, sent: int, received: int) -> None:
+        rank = self.rank_label
+        self.shard.inc("repro_p2p_messages_total", (rank, op))
+        if sent:
+            self.shard.inc("repro_p2p_bytes_total", (rank, "sent"), sent)
+        if received:
+            self.shard.inc("repro_p2p_bytes_total", (rank, "received"), received)
+
+    # -- disk / timer sinks (teed behind the tracer slot) --------------------
+    def record_disk(self, op: str, nbytes: int, t_start: float, t_end: float) -> None:
+        # the highest-frequency hook (every chunk access); caches the
+        # full counter keys and writes the shard's dict directly
+        ck = (op, self.level, self._timer.current)
+        key = self._disk_keys.get(ck)
+        if key is None:
+            labels = (self.rank_label, op, self._level_label(), self._phase("io"))
+            key = self._disk_keys[ck] = (
+                ("repro_disk_calls_total", labels),
+                ("repro_disk_seconds_total", labels),
+                ("repro_disk_bytes_total", labels),
+            )
+        counters = self.shard.counters
+        k = key[0]
+        counters[k] = counters.get(k, 0.0) + 1.0
+        k = key[1]
+        counters[k] = counters.get(k, 0.0) + (t_end - t_start)
+        if op == "retry":
+            self.shard.inc("repro_io_retries_total", (self.rank_label,))
+        else:
+            k = key[2]
+            counters[k] = counters.get(k, 0.0) + nbytes
+
+    def record_phase(self, name: str, t_start: float, t_end: float) -> None:
+        phase = PHASE_LABELS.get(name, name)
+        self.shard.inc(
+            "repro_phase_seconds_total", (self.rank_label, phase), t_end - t_start
+        )
+
+    def record_fault(self, op: str, t: float) -> None:
+        self.shard.inc("repro_faults_total", (self.rank_label, op))
+
+    # -- driver notifications (via ctx.notify) -------------------------------
+    def begin_attempt(self, attempt: int) -> None:
+        """A (re)start of the fit program — discard any level left open
+        by a crashed attempt so its samples cannot leak across."""
+        self.attempt = attempt
+        self.level = None
+        self._level_samples = []
+        self.shard.inc("repro_attempts_total", (self.rank_label,))
+
+    def begin_level(self, level: int, n_frontier: int, live_bytes: int) -> None:
+        stats = self.ctx.stats
+        self.level = level
+        self._level_meta = (n_frontier, int(live_bytes))
+        self._level_samples = []
+        self._busy0 = stats.busy_time()
+        self._idle0 = stats.idle_time
+        self._io0 = stats.bytes_read + stats.bytes_written
+        self.shard.set(
+            "repro_frontier_live_bytes",
+            (self.rank_label, str(level)),
+            float(live_bytes),
+        )
+        if self.ctx.rank == 0:
+            self.shard.set("repro_frontier_nodes", (str(level),), float(n_frontier))
+
+    def end_level(self) -> None:
+        if self.level is None:
+            return
+        stats = self.ctx.stats
+        busy = stats.busy_time() - self._busy0
+        idle = stats.idle_time - self._idle0
+        io_bytes = (stats.bytes_read + stats.bytes_written) - self._io0
+        lvl = str(self.level)
+        self.shard.inc(
+            "repro_level_busy_seconds_total", (self.rank_label, lvl), busy
+        )
+        self.shard.inc(
+            "repro_level_io_bytes_total", (self.rank_label, lvl), io_bytes
+        )
+        summary = LevelSummary(
+            rank=self.ctx.rank,
+            attempt=self.attempt,
+            level=self.level,
+            busy=busy,
+            idle=idle,
+            io_bytes=io_bytes,
+            live_bytes=self._level_meta[1],
+            n_frontier=self._level_meta[0],
+            samples=tuple(self._level_samples),
+        )
+        self.level = None
+        self._level_samples = []
+        if self.monitor is not None:
+            self.monitor.publish(summary)
+
+    def on_survival(self, level: int, ratios: list[float]) -> None:
+        if self.ctx.rank == 0 and ratios:
+            self.shard.set(
+                "repro_alive_survival_ratio",
+                (str(level),),
+                sum(ratios) / len(ratios),
+            )
+
+    def on_small_assignment(self, loads: list[float], owned: int) -> None:
+        self.shard.set(
+            "repro_small_tasks_owned", (self.rank_label,), float(owned)
+        )
+        self.shard.set(
+            "repro_small_task_cost_load",
+            (self.rank_label,),
+            float(loads[self.ctx.rank]),
+        )
+
+    def on_stats_exchange(self, strategy: str, n_nodes: int) -> None:
+        self.shard.inc(
+            "repro_exchange_total", (self.rank_label, strategy), float(n_nodes)
+        )
+
+    # -- end of run ----------------------------------------------------------
+    def finalize(self) -> None:
+        """Dump the rank's final counters; called once, after the run's
+        threads have joined (the happens-before edge the registry merge
+        relies on)."""
+        stats = self.ctx.stats
+        rank = self.rank_label
+        for kind, v in (
+            ("compute", stats.compute_time),
+            ("io", stats.io_time),
+            ("comm", stats.comm_time),
+            ("idle", stats.idle_time),
+        ):
+            self.shard.set("repro_rank_seconds", (rank, kind), v)
+        for kind, v in (
+            ("read", stats.bytes_read),
+            ("written", stats.bytes_written),
+            ("sent", stats.bytes_sent),
+            ("received", stats.bytes_received),
+        ):
+            self.shard.set("repro_rank_bytes", (rank, kind), float(v))
+        if stats.crc_failures:
+            self.shard.inc(
+                "repro_crc_failures_total", (rank,), float(stats.crc_failures)
+            )
+        if self.monitor is not None and self._outside_samples:
+            self.monitor.publish_outside(self._outside_samples)
+            self._outside_samples = []
+
+
+class _Tee:
+    """Fan one event-sink slot (``LocalDisk.tracer`` / ``PhaseTimer.tracer``)
+    out to both the previously attached sink and the recorder."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first: Any, second: Any) -> None:
+        self.first = first
+        self.second = second
+
+    def record_disk(self, op: str, nbytes: int, t0: float, t1: float) -> None:
+        self.first.record_disk(op, nbytes, t0, t1)
+        self.second.record_disk(op, nbytes, t0, t1)
+
+    def record_phase(self, name: str, t0: float, t1: float) -> None:
+        self.first.record_phase(name, t0, t1)
+        self.second.record_phase(name, t0, t1)
+
+    def record_fault(self, op: str, t: float) -> None:
+        self.first.record_fault(op, t)
+        self.second.record_fault(op, t)
+
+
+class _MeteredComm:
+    """Outermost communicator wrapper: meters every primitive from stats
+    deltas and forwards to whatever is underneath (plain ``Comm``,
+    ``_TracingComm``, ``_FaultyComm`` — delegation keeps them all live).
+    """
+
+    def __init__(self, inner: Any, recorder: MetricsRecorder, label: str = "world"):
+        self._inner = inner
+        self._recorder = recorder
+        self._label = label
+        self.rank = inner.rank
+        self.size = inner.size
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._inner, name)
+        if name in _COLLECTIVES:
+            attr = self._metered_collective(name, attr)
+        elif name in _P2P:
+            attr = self._metered_p2p(name, attr)
+        else:
+            return attr
+        # memoise the wrapper on the instance so normal attribute lookup
+        # finds it next time: one closure per (comm, primitive), not one
+        # per call
+        setattr(self, name, attr)
+        return attr
+
+    def _metered_collective(self, op: str, fn: Any) -> Any:
+        rec = self._recorder
+        ctx = rec.ctx
+        clock = ctx.clock
+        stats = ctx.stats
+        label = self._label
+
+        def metered(*args: Any, **kwargs: Any):
+            t0 = clock.now
+            s0, r0 = stats.bytes_sent, stats.bytes_received
+            c0, i0 = stats.comm_time, stats.idle_time
+            out = fn(*args, **kwargs)
+            if op == "split":
+                members = ",".join(str(r) for r in out.parent_ranks)
+                out = _MeteredComm(out, rec, label=f"{label}/{members}")
+            rec.record_collective(
+                label,
+                op,
+                stats.bytes_sent - s0,
+                stats.bytes_received - r0,
+                stats.comm_time - c0,
+                stats.idle_time - i0,
+                clock.now - t0,
+                self.size,
+            )
+            return out
+
+        return metered
+
+    def _metered_p2p(self, op: str, fn: Any) -> Any:
+        rec = self._recorder
+        stats = rec.ctx.stats
+
+        def metered(*args: Any, **kwargs: Any):
+            s0, r0 = stats.bytes_sent, stats.bytes_received
+            out = fn(*args, **kwargs)
+            rec.record_p2p(op, stats.bytes_sent - s0, stats.bytes_received - r0)
+            return out
+
+        return metered
+
+
+def attach_metrics(
+    contexts: list[RankContext],
+    registry: MetricsRegistry | None = None,
+    monitor: HealthMonitor | None = None,
+) -> tuple[MetricsRegistry, list[MetricsRecorder]]:
+    """Instrument every rank context; returns the (shared) registry and
+    the per-rank recorders.
+
+    Attach *after* tracers and the fault injector so the metered wrapper
+    is outermost. Existing disk/timer sinks are teed, not replaced.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    _register_metrics(registry)
+    recorders: list[MetricsRecorder] = []
+    for ctx in contexts:
+        rec = MetricsRecorder(ctx, registry.shard(ctx.rank), monitor)
+        ctx.comm = _MeteredComm(ctx.comm, rec)
+        ctx.disk.tracer = rec if ctx.disk.tracer is None else _Tee(ctx.disk.tracer, rec)
+        ctx.timer.tracer = rec if ctx.timer.tracer is None else _Tee(ctx.timer.tracer, rec)
+        ctx.observers.append(rec)
+        recorders.append(rec)
+    return registry, recorders

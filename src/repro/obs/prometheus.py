@@ -1,0 +1,71 @@
+"""Prometheus text exposition (version 0.0.4) for a merged registry.
+
+Rendering is deterministic: families in name order, series in label
+order, values printed with a stable decimal formatter. Histogram cells
+are stored per-bucket in the shards and cumulated here, so the exported
+``le`` series carry the standard Prometheus cumulative semantics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .registry import MetricsRegistry
+
+__all__ = ["to_prometheus", "format_value"]
+
+
+def format_value(v: float) -> str:
+    """Stable decimal rendering: integers without a trailing ``.0``,
+    everything else via ``repr`` (shortest round-trip form)."""
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    f = float(v)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _escape(s: str) -> str:
+    return s.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labelstr(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{n}="{_escape(v)}"' for n, v in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The merged registry in Prometheus text format."""
+    merged = registry.merged()
+    lines: list[str] = []
+    for spec in registry.specs:
+        samples = merged.get(spec.name, [])
+        lines.append(f"# HELP {spec.name} {_escape(spec.help)}")
+        lines.append(f"# TYPE {spec.name} {spec.kind}")
+        for s in samples:
+            if spec.kind == "histogram":
+                cell = s.value
+                cum = 0.0
+                for i, edge in enumerate(spec.buckets):
+                    cum += cell[i]
+                    le = _labelstr(
+                        spec.labelnames + ("le",),
+                        s.labels + (format_value(edge),),
+                    )
+                    lines.append(
+                        f"{spec.name}_bucket{le} {format_value(cum)}"
+                    )
+                base = _labelstr(spec.labelnames, s.labels)
+                lines.append(f"{spec.name}_sum{base} {format_value(cell[-2])}")
+                lines.append(f"{spec.name}_count{base} {format_value(cell[-1])}")
+            else:
+                base = _labelstr(spec.labelnames, s.labels)
+                lines.append(f"{spec.name}{base} {format_value(s.value)}")
+    return "\n".join(lines) + "\n"

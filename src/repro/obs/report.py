@@ -1,0 +1,82 @@
+"""Markdown rendering of a :class:`~repro.obs.health.HealthReport`
+(the body of ``repro health``)."""
+
+from __future__ import annotations
+
+from .health import OUTSIDE_LEVEL, HealthReport
+
+__all__ = ["render_health_markdown"]
+
+
+def _fmt_bytes(n: float) -> str:
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _level_name(level: int) -> str:
+    return "outside" if level == OUTSIDE_LEVEL else str(level)
+
+
+def render_health_markdown(report: HealthReport, title: str = "Run health") -> str:
+    """Per-run health report: verdict, per-level indicator table, per-op
+    drift vs the Table-1 model, and the alert list (worst first)."""
+    lines: list[str] = [f"# {title}", ""]
+    verdict = "HEALTHY" if report.healthy else f"{len(report.alerts)} alert(s)"
+    lines.append(
+        f"**{verdict}** — {report.n_ranks} ranks, "
+        f"{len(report.levels)} frontier level(s); "
+        f"worst imbalance {report.worst_imbalance:.2f}x, "
+        f"worst I/O amplification {report.worst_io_amplification:.2f}x, "
+        f"overall cost drift {report.overall_drift:.3f}"
+    )
+    lines.append("")
+    for key in sorted(report.meta):
+        lines.append(f"- {key}: {report.meta[key]}")
+    if report.meta:
+        lines.append("")
+
+    if report.levels:
+        lines.append("## Frontier levels")
+        lines.append("")
+        lines.append(
+            "| level | nodes | busy max (s) | busy mean (s) | imbalance "
+            "| live bytes | I/O bytes | I/O amp | drift |"
+        )
+        lines.append("|---|---|---|---|---|---|---|---|---|")
+        for lh in report.levels:
+            name = _level_name(lh.level)
+            if lh.attempt:
+                name = f"{name} (attempt {lh.attempt})"
+            lines.append(
+                f"| {name} | {lh.n_frontier} | {lh.busy_max:.4f} "
+                f"| {lh.busy_mean:.4f} | {lh.imbalance:.2f}x "
+                f"| {_fmt_bytes(lh.live_bytes)} | {_fmt_bytes(lh.io_bytes)} "
+                f"| {lh.io_amplification:.2f}x | {lh.drift:.3f} |"
+            )
+        lines.append("")
+
+    if report.drift_ops:
+        lines.append("## Collective cost drift (observed vs Table 1)")
+        lines.append("")
+        lines.append("| collective | observed (s) | predicted (s) | drift |")
+        lines.append("|---|---|---|---|")
+        for op, (obs, pred) in sorted(report.drift_ops.items()):
+            drift = obs / pred if pred > 0 else 1.0
+            lines.append(
+                f"| {op} | {obs:.6f} | {pred:.6f} | {drift:.3f} |"
+            )
+        lines.append("")
+
+    lines.append("## Alerts")
+    lines.append("")
+    if report.healthy:
+        lines.append("No thresholds crossed.")
+    else:
+        for a in report.top_regressions(len(report.alerts)):
+            lines.append(f"- **{a.indicator}**: {a.message}")
+    lines.append("")
+    return "\n".join(lines)

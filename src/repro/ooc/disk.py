@@ -112,6 +112,7 @@ class LocalDisk:
                     raise
                 self._charge_backoff(attempt, nbytes)
         if crc is not None and chunk_crc(arr) != crc:
+            self.stats.crc_failures += 1
             raise ChunkCorruptionError(
                 f"chunk {handle!r}: stored CRC {crc:#010x} does not match "
                 f"payload CRC {chunk_crc(arr):#010x} ({nbytes} B)"
