@@ -89,6 +89,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             compute=compute,
             memory_limit=args.memory_limit,
             seed=args.seed,
+            buffer_pool=args.buffer_pool,
         )
         dataset = DistributedDataset.create(
             cluster, schema, columns, labels, seed=args.seed + 1
@@ -170,7 +171,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     cfg = ExperimentConfig(
         n_records=args.records, n_ranks=args.ranks, scale=args.scale,
-        seed=args.seed,
+        seed=args.seed, buffer_pool=args.buffer_pool,
     )
     res = run_pclouds(cfg, trace=True)
     assert_schedules_match(res.tracers)
@@ -292,6 +293,7 @@ def cmd_health(args: argparse.Namespace) -> int:
     cfg = ExperimentConfig(
         n_records=args.records, n_ranks=args.ranks, scale=args.scale,
         seed=args.seed, frontier_batching=args.frontier_batching,
+        buffer_pool=args.buffer_pool,
     )
     from repro.bench.harness import build_cluster
 
@@ -370,6 +372,11 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--min-node", type=int, default=16)
     t.add_argument("--purity", type=float, default=1.0)
     t.add_argument("--memory-limit", type=int, default=None, help="bytes per rank")
+    t.add_argument(
+        "--buffer-pool", default="lru+prefetch",
+        choices=list(Cluster.BUFFER_POOL_MODES),
+        help="out-of-core chunk cache mode",
+    )
     t.add_argument("--scale", type=float, default=100.0, help="cost-model scale")
     t.add_argument("--prune", action="store_true", help="MDL-prune after fitting")
     t.add_argument("--seed", type=int, default=0)
@@ -391,6 +398,11 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--ranks", type=int, default=4)
     tr.add_argument("--scale", type=float, default=200.0, help="cost-model scale")
     tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument(
+        "--buffer-pool", default="lru+prefetch",
+        choices=list(Cluster.BUFFER_POOL_MODES),
+        help="out-of-core chunk cache mode",
+    )
     tr.add_argument("--out", help="write Chrome-trace/Perfetto JSON here")
     tr.set_defaults(func=cmd_trace)
 
@@ -422,6 +434,11 @@ def build_parser() -> argparse.ArgumentParser:
     h.add_argument("--seed", type=int, default=0)
     h.add_argument(
         "--frontier-batching", default="level", choices=["level", "per_node"]
+    )
+    h.add_argument(
+        "--buffer-pool", default="lru+prefetch",
+        choices=list(Cluster.BUFFER_POOL_MODES),
+        help="out-of-core chunk cache mode",
     )
     h.add_argument(
         "--imbalance", type=float, default=2.0,

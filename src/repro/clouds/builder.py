@@ -32,6 +32,7 @@ from .sse import (
     evaluate_alive_interval,
     member_mask,
     refine_with_alive,
+    stacked_member_masks,
 )
 from .tree import DecisionTree, TreeNode
 
@@ -332,11 +333,11 @@ class CloudsBuilder:
         needed = sorted({iv.attribute for iv in alive})
         members: dict[int, tuple[list, list]] = {i: ([], []) for i in range(len(alive))}
         for name in needed:
-            ivs = [(k, iv) for k, iv in enumerate(alive) if iv.attribute == name]
+            ks = [k for k, iv in enumerate(alive) if iv.attribute == name]
+            ivs = [alive[k] for k in ks]
             for values, labels in cs.iter_column_with_labels(name):
                 sink.charge_compute(ops=len(values) * len(ivs))
-                for k, iv in ivs:
-                    m = member_mask(values, iv)
+                for k, m in zip(ks, stacked_member_masks(values, ivs)):
                     if m.any():
                         members[k][0].append(values[m])
                         members[k][1].append(labels[m])
@@ -413,6 +414,13 @@ class CloudsBuilder:
             self._next_id = node.node_id + _subtree_size(sub)
             return sub
         bounds = node_boundaries(self.schema, sample_cols, q)
+        # the node is about to be scanned up to three times (stats, SSE
+        # members, partition): pin it so a buffer pool that can hold the
+        # fragment serves the re-reads from memory; deleting the fragment
+        # below invalidates its entries, which also unpins them
+        pool = cs.disk.pool
+        if pool is not None and pool.would_cache(cs.nbytes):
+            pool.pin_columnset(cs)
         stats = self._node_stats_pass(cs, bounds, sink)
         best = find_split_ss(stats, self.schema, cfg.enumerate_limit)
         if cfg.method == "sse" and best is not None:

@@ -29,6 +29,7 @@ __all__ = [
     "survival_ratio",
     "evaluate_alive_interval",
     "member_mask",
+    "stacked_member_masks",
 ]
 
 
@@ -105,6 +106,34 @@ def member_mask(values: np.ndarray, iv: AliveInterval) -> np.ndarray:
     """Mask of records falling inside an alive interval ``(lo, hi]``."""
     values = np.asarray(values)
     return (values > iv.lo) & (values <= iv.hi)
+
+
+def stacked_member_masks(
+    values: np.ndarray, intervals: list[AliveInterval]
+) -> list[np.ndarray]:
+    """Membership masks of *all* of one attribute's alive intervals
+    against one value chunk, via a single stacked boundary comparison.
+
+    The intervals of one attribute come from the same boundary partition,
+    so they are disjoint ``(lo, hi]`` ranges in ascending index order —
+    one ``searchsorted`` against the stacked upper edges locates every
+    record's candidate interval, and one comparison against the stacked
+    lower edges confirms membership. Bit-identical to calling
+    :func:`member_mask` per interval (NaNs sort past every edge and drop
+    out, exactly as ``values > lo`` rejects them), at one O(n log k) scan
+    instead of k full-column comparisons.
+    """
+    values = np.asarray(values)
+    k = len(intervals)
+    his = np.array([iv.hi for iv in intervals])
+    los = np.array([iv.lo for iv in intervals])
+    j = np.searchsorted(his, values, side="left")
+    inside = np.empty(len(values), dtype=bool)
+    in_range = j < k
+    inside[~in_range] = False
+    jc = j[in_range]
+    inside[in_range] = values[in_range] > los[jc]
+    return [inside & (j == idx) for idx in range(k)]
 
 
 def evaluate_alive_interval(

@@ -58,7 +58,10 @@ class RankContext:
         memory_limit: int | None,
         backend: "StorageBackend | None",
         seed: int,
+        buffer_pool: str = "off",
+        pool_bytes: int | None = None,
     ) -> None:
+        from repro.ooc.bufferpool import BufferPool
         from repro.ooc.disk import LocalDisk
         from repro.ooc.memory import MemoryBudget
 
@@ -70,6 +73,21 @@ class RankContext:
         self.comm = Comm(world, rank, self)
         self.disk = LocalDisk(disk_model, self.clock, self.stats, backend)
         self.memory = MemoryBudget(limit=memory_limit)
+        self.pool_budget: MemoryBudget | None = None
+        if buffer_pool != "off":
+            # Cache RAM is its own budget: the paper's "memory limit" is
+            # the node-processing threshold (open_node), not the node's
+            # total RAM — the pool models the rest of that RAM put to
+            # work as an I/O cache, sized relative to the limit.
+            cap = pool_bytes if pool_bytes is not None else _default_pool_bytes(
+                memory_limit
+            )
+            self.pool_budget = MemoryBudget(limit=cap)
+            self.disk.attach_pool(
+                BufferPool(
+                    self.pool_budget, prefetch=(buffer_pool == "lru+prefetch")
+                )
+            )
         self.rng = np.random.default_rng(np.random.SeedSequence([seed, rank]))
         self.timer = PhaseTimer(self.clock)
         self.observers: list[Any] = []
@@ -112,8 +130,23 @@ class SpmdRun:
         return self.results[0]
 
 
+#: default buffer-pool capacity relative to the node-processing memory
+#: limit — the cache RAM a node has left once the processing working set
+#: is carved out (see RankContext); 64 MiB when the machine is unlimited
+POOL_LIMIT_RATIO = 4
+DEFAULT_POOL_BYTES = 64 * 2**20
+
+
+def _default_pool_bytes(memory_limit: int | None) -> int:
+    if memory_limit is None:
+        return DEFAULT_POOL_BYTES
+    return POOL_LIMIT_RATIO * int(memory_limit)
+
+
 class Cluster:
     """A p-processor shared-nothing machine with analytic cost models."""
+
+    BUFFER_POOL_MODES = ("off", "lru", "lru+prefetch")
 
     def __init__(
         self,
@@ -126,9 +159,16 @@ class Cluster:
         backend_factory: Callable[[], StorageBackend] | None = None,
         seed: int = 0,
         timeout: float = 300.0,
+        buffer_pool: str = "off",
+        pool_bytes: int | None = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError(f"need at least one rank, got {n_ranks}")
+        if buffer_pool not in self.BUFFER_POOL_MODES:
+            raise ValueError(
+                f"buffer_pool must be one of {self.BUFFER_POOL_MODES}, "
+                f"got {buffer_pool!r}"
+            )
         self.n_ranks = n_ranks
         self.network = network or NetworkModel()
         self.disk_model = disk or DiskModel()
@@ -137,6 +177,8 @@ class Cluster:
         self.backend_factory = backend_factory
         self.seed = seed
         self.timeout = timeout
+        self.buffer_pool = buffer_pool
+        self.pool_bytes = pool_bytes
 
     def make_contexts(self) -> list[RankContext]:
         """Fresh rank contexts sharing one communication world (exposed so
@@ -152,6 +194,8 @@ class Cluster:
                 memory_limit=self.memory_limit,
                 backend=self.backend_factory() if self.backend_factory else None,
                 seed=self.seed,
+                buffer_pool=self.buffer_pool,
+                pool_bytes=self.pool_bytes,
             )
             for r in range(self.n_ranks)
         ]
@@ -187,6 +231,7 @@ class Cluster:
         if reset_clocks:
             for c in ctxs:
                 c.clock.now = 0.0
+                c.disk.reset_io_queue()
         world = ctxs[0].comm._world
         if world.aborted:
             # reused contexts whose previous run failed (checkpoint/restart)

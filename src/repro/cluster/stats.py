@@ -25,6 +25,7 @@ class RankStats:
     io_calls: int = 0
     io_retries: int = 0  # transient-disk-error retries (backoff charged)
     crc_failures: int = 0  # chunk CRC mismatches detected on fetch
+    io_overlap_saved: float = 0.0  # disk seconds hidden behind compute by prefetch
 
     bytes_sent: int = 0
     bytes_received: int = 0

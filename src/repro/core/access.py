@@ -19,7 +19,7 @@ from repro.cluster.machine import RankContext
 from repro.clouds.intervals import class_counts
 from repro.clouds.nodestats import NodeStats, accumulate_batch, empty_stats
 from repro.clouds.splits import Split
-from repro.clouds.sse import AliveInterval, member_mask
+from repro.clouds.sse import AliveInterval, member_mask, stacked_member_masks
 from repro.data.schema import Schema
 from repro.ooc.columnset import ColumnSet
 
@@ -107,7 +107,20 @@ class InCoreAccess(NodeAccess):
 
 
 class StreamingAccess(NodeAccess):
-    """Fragment exceeds the memory budget: every pass streams from disk."""
+    """Fragment exceeds the memory budget: every pass streams from disk.
+
+    When the rank has a buffer pool large enough for the fragment, the
+    node's chunks are pinned for the duration of the access: the stats
+    pass populates the cache and the member/partition passes re-read
+    from memory instead of disk (released with the access)."""
+
+    def __init__(self, ctx: RankContext, cs: ColumnSet, schema: Schema) -> None:
+        super().__init__(ctx, cs, schema)
+        self._pinned = False
+        pool = ctx.disk.pool
+        if pool is not None and pool.would_cache(cs.nbytes):
+            pool.pin_columnset(cs)
+            self._pinned = True
 
     def stats_pass(self, boundaries: dict[str, np.ndarray]) -> NodeStats:
         stats = empty_stats(self.schema, boundaries)
@@ -122,10 +135,10 @@ class StreamingAccess(NodeAccess):
         for k, iv in enumerate(alive):
             by_attr.setdefault(iv.attribute, []).append(k)
         for name, ks in sorted(by_attr.items()):
+            ivs = [alive[k] for k in ks]
             for values, labels in self.cs.iter_column_with_labels(name):
                 self.ctx.charge_compute(ops=len(values) * len(ks))
-                for k in ks:
-                    m = member_mask(values, alive[k])
+                for k, m in zip(ks, stacked_member_masks(values, ivs)):
                     if m.any():
                         collected[k][0].append(values[m])
                         collected[k][1].append(labels[m])
@@ -150,6 +163,11 @@ class StreamingAccess(NodeAccess):
             right.append_batch({k: v[~mask] for k, v in batch.items()}, labels[~mask])
             left_counts += class_counts(labels[mask], self.schema.n_classes)
         return left, right, left_counts
+
+    def release(self) -> None:
+        if self._pinned:
+            self.ctx.disk.pool.unpin_columnset(self.cs)
+            self._pinned = False
 
 
 def open_node(ctx: RankContext, cs: ColumnSet, schema: Schema) -> NodeAccess:

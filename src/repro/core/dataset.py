@@ -40,10 +40,14 @@ class DistributedDataset:
         labels: np.ndarray,
         *,
         seed: int = 0,
-        batch_rows: int | None = 8192,
+        batch_rows: int | None = None,
         policy: str = "shuffle",
     ) -> "DistributedDataset":
         """Distribute in-memory columns onto the cluster's disks.
+
+        ``batch_rows`` sets the on-disk chunk granularity; ``None`` lets
+        each rank derive it from its disk model and buffer pool
+        (:func:`repro.ooc.columnset.default_batch_rows`).
 
         ``policy`` is ``"shuffle"`` (equal shares of a random permutation,
         the experimental setup) or ``"multinomial"`` (independent uniform

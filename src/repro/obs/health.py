@@ -86,6 +86,9 @@ class LevelSummary:
     live_bytes: int  # local frontier fragment bytes at level start
     n_frontier: int  # frontier width (replicated, same on all ranks)
     samples: tuple[CollectiveSample, ...] = ()
+    cache_hits: int = 0  # buffer-pool hits during the level
+    cache_misses: int = 0  # buffer-pool misses (0/0 when no pool attached)
+    overlap_saved: float = 0.0  # prefetch seconds hidden behind compute
 
 
 @dataclass(frozen=True)
@@ -97,6 +100,12 @@ class HealthThresholds:
     io_amplification: float = 8.0
     drift_low: float = 0.9
     drift_high: float = 1.1
+    #: with a buffer pool attached, a level that re-reads (amplification
+    #: above ``reread_amplification``) should be getting cache hits; a
+    #: hit rate below ``cache_hit_rate`` on such a level means the pool
+    #: is thrashing (working set larger than the pool, nothing pinned)
+    cache_hit_rate: float = 0.1
+    reread_amplification: float = 3.0
     #: levels whose mean busy time is below this are too small for the
     #: ratio indicators to be meaningful and are not alerted on
     min_level_busy: float = 1e-6
@@ -106,7 +115,7 @@ class HealthThresholds:
 class HealthAlert:
     """One threshold crossing, in evaluation order."""
 
-    indicator: str  # "imbalance" | "io_amplification" | "drift"
+    indicator: str  # "imbalance" | "io_amplification" | "drift" | "cache_hit_rate"
     level: int  # frontier level (OUTSIDE_LEVEL for run-wide)
     op: str | None  # collective op for drift alerts
     value: float
@@ -136,6 +145,10 @@ class LevelHealth:
     io_amplification: float  # io_bytes / live_bytes
     drift: float  # observed/predicted over the level's collectives
     drift_ops: dict[str, tuple[float, float]]  # op -> (observed, predicted)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0  # hits / lookups (0.0 when no pool traffic)
+    overlap_saved: float = 0.0  # prefetch seconds hidden behind compute
     alerts: tuple[HealthAlert, ...] = ()
 
 
@@ -245,6 +258,11 @@ class HealthMonitor:
         io_bytes = sum(s.io_bytes for s in summaries)
         live_bytes = sum(s.live_bytes for s in summaries)
         io_amp = io_bytes / live_bytes if live_bytes > 0 else 0.0
+        cache_hits = sum(s.cache_hits for s in summaries)
+        cache_misses = sum(s.cache_misses for s in summaries)
+        lookups = cache_hits + cache_misses
+        hit_rate = cache_hits / lookups if lookups else 0.0
+        overlap_saved = sum(s.overlap_saved for s in summaries)
         samples = [smp for s in summaries for smp in s.samples]
         ops = drift_by_op(self.network, samples)
         obs = sum(o for o, _ in ops.values())
@@ -270,6 +288,21 @@ class HealthMonitor:
                     f"level {level}: I/O amplification {io_amp:.2f}× "
                     f"({io_bytes:,} B moved over {live_bytes:,} live B) "
                     f"exceeds {th.io_amplification:.2f}×",
+                )
+            )
+        if (
+            significant
+            and lookups > 0  # silent when no buffer pool is attached
+            and live_bytes > 0
+            and io_amp > th.reread_amplification
+            and hit_rate < th.cache_hit_rate
+        ):
+            alerts.append(
+                HealthAlert(
+                    "cache_hit_rate", level, None, hit_rate, th.cache_hit_rate,
+                    f"level {level}: buffer-pool hit rate {hit_rate:.1%} on a "
+                    f"re-reading level ({io_amp:.2f}× amplification) is below "
+                    f"{th.cache_hit_rate:.0%} — the pool is thrashing",
                 )
             )
         for op, (o, p) in sorted(ops.items()):
@@ -299,6 +332,10 @@ class HealthMonitor:
                 io_amplification=io_amp,
                 drift=drift,
                 drift_ops=ops,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                cache_hit_rate=hit_rate,
+                overlap_saved=overlap_saved,
                 alerts=tuple(alerts),
             )
         )
@@ -354,6 +391,18 @@ class HealthReport:
     def worst_io_amplification(self) -> float:
         return max((lh.io_amplification for lh in self.levels), default=0.0)
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Run-wide buffer-pool hit rate (0.0 when no pool traffic)."""
+        hits = sum(lh.cache_hits for lh in self.levels)
+        lookups = hits + sum(lh.cache_misses for lh in self.levels)
+        return hits / lookups if lookups else 0.0
+
+    @property
+    def overlap_saved(self) -> float:
+        """Run-wide disk seconds hidden behind compute by prefetch."""
+        return sum(lh.overlap_saved for lh in self.levels)
+
     def top_regressions(self, n: int = 5) -> list[HealthAlert]:
         """The most-regressed indicators, worst first."""
         return sorted(self.alerts, key=lambda a: -a.severity)[:n]
@@ -370,6 +419,8 @@ class HealthReport:
             "overall_drift": self.overall_drift,
             "worst_imbalance": self.worst_imbalance,
             "worst_io_amplification": self.worst_io_amplification,
+            "cache_hit_rate": self.cache_hit_rate,
+            "overlap_saved_seconds": self.overlap_saved,
             "levels": [
                 {
                     "attempt": lh.attempt,
@@ -382,6 +433,10 @@ class HealthReport:
                     "live_bytes": lh.live_bytes,
                     "io_amplification": lh.io_amplification,
                     "drift": lh.drift,
+                    "cache_hits": lh.cache_hits,
+                    "cache_misses": lh.cache_misses,
+                    "cache_hit_rate": lh.cache_hit_rate,
+                    "overlap_saved": lh.overlap_saved,
                 }
                 for lh in self.levels
             ],

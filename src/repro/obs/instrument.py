@@ -131,6 +131,31 @@ def _register_metrics(registry: MetricsRegistry) -> None:
         ),
         Counter("repro_io_retries_total", "Transient-error retries", ("rank",)),
         Counter(
+            "repro_ooc_cache_hits_total",
+            "Buffer-pool chunk reads served from memory",
+            ("rank",),
+        ),
+        Counter(
+            "repro_ooc_cache_misses_total",
+            "Buffer-pool chunk reads that went to disk",
+            ("rank",),
+        ),
+        Counter(
+            "repro_ooc_cache_evictions_total",
+            "Buffer-pool LRU evictions",
+            ("rank",),
+        ),
+        Counter(
+            "repro_ooc_prefetch_total",
+            "Overlapped prefetches by outcome (issued|useful|wasted)",
+            ("rank", "outcome"),
+        ),
+        Counter(
+            "repro_ooc_overlap_saved_seconds_total",
+            "Disk seconds hidden behind compute by prefetch",
+            ("rank",),
+        ),
+        Counter(
             "repro_crc_failures_total",
             "Chunk CRC verification failures",
             ("rank",),
@@ -228,6 +253,8 @@ class MetricsRecorder:
         self._busy0 = 0.0
         self._idle0 = 0.0
         self._io0 = 0
+        self._cache0 = (0, 0)  # (hits, misses) at level start
+        self._overlap0 = 0.0
 
     # -- label helpers -------------------------------------------------------
     def _phase(self, default: str) -> str:
@@ -353,6 +380,10 @@ class MetricsRecorder:
         self._busy0 = stats.busy_time()
         self._idle0 = stats.idle_time
         self._io0 = stats.bytes_read + stats.bytes_written
+        pool = self.ctx.disk.pool
+        if pool is not None:
+            self._cache0 = (pool.stats.hits, pool.stats.misses)
+        self._overlap0 = stats.io_overlap_saved
         self.shard.set(
             "repro_frontier_live_bytes",
             (self.rank_label, str(level)),
@@ -375,6 +406,11 @@ class MetricsRecorder:
         self.shard.inc(
             "repro_level_io_bytes_total", (self.rank_label, lvl), io_bytes
         )
+        pool = self.ctx.disk.pool
+        hits = misses = 0
+        if pool is not None:
+            hits = pool.stats.hits - self._cache0[0]
+            misses = pool.stats.misses - self._cache0[1]
         summary = LevelSummary(
             rank=self.ctx.rank,
             attempt=self.attempt,
@@ -385,6 +421,9 @@ class MetricsRecorder:
             live_bytes=self._level_meta[1],
             n_frontier=self._level_meta[0],
             samples=tuple(self._level_samples),
+            cache_hits=hits,
+            cache_misses=misses,
+            overlap_saved=stats.io_overlap_saved - self._overlap0,
         )
         self.level = None
         self._level_samples = []
@@ -439,6 +478,31 @@ class MetricsRecorder:
             self.shard.inc(
                 "repro_crc_failures_total", (rank,), float(stats.crc_failures)
             )
+        pool = self.ctx.disk.pool
+        if pool is not None:
+            ps = pool.stats
+            self.shard.inc("repro_ooc_cache_hits_total", (rank,), float(ps.hits))
+            self.shard.inc(
+                "repro_ooc_cache_misses_total", (rank,), float(ps.misses)
+            )
+            self.shard.inc(
+                "repro_ooc_cache_evictions_total", (rank,), float(ps.evictions)
+            )
+            for outcome, v in (
+                ("issued", ps.prefetch_issued),
+                ("useful", ps.prefetch_useful),
+                ("wasted", ps.prefetch_wasted),
+            ):
+                if v:
+                    self.shard.inc(
+                        "repro_ooc_prefetch_total", (rank, outcome), float(v)
+                    )
+            if ps.overlap_saved_s:
+                self.shard.inc(
+                    "repro_ooc_overlap_saved_seconds_total",
+                    (rank,),
+                    ps.overlap_saved_s,
+                )
         if self.monitor is not None and self._outside_samples:
             self.monitor.publish_outside(self._outside_samples)
             self._outside_samples = []

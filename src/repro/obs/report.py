@@ -26,13 +26,20 @@ def render_health_markdown(report: HealthReport, title: str = "Run health") -> s
     drift vs the Table-1 model, and the alert list (worst first)."""
     lines: list[str] = [f"# {title}", ""]
     verdict = "HEALTHY" if report.healthy else f"{len(report.alerts)} alert(s)"
-    lines.append(
+    summary = (
         f"**{verdict}** — {report.n_ranks} ranks, "
         f"{len(report.levels)} frontier level(s); "
         f"worst imbalance {report.worst_imbalance:.2f}x, "
         f"worst I/O amplification {report.worst_io_amplification:.2f}x, "
         f"overall cost drift {report.overall_drift:.3f}"
     )
+    pool_lookups = sum(lh.cache_hits + lh.cache_misses for lh in report.levels)
+    if pool_lookups:
+        summary += (
+            f", cache hit rate {report.cache_hit_rate:.1%}, "
+            f"prefetch overlap saved {report.overlap_saved:.3f} s"
+        )
+    lines.append(summary)
     lines.append("")
     for key in sorted(report.meta):
         lines.append(f"- {key}: {report.meta[key]}")

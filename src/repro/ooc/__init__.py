@@ -10,15 +10,20 @@ from .backend import (
     TransientDiskError,
     chunk_crc,
 )
-from .columnset import ColumnSet
+from .bufferpool import POOL_MODES, BufferPool, PoolStats
+from .columnset import ColumnSet, default_batch_rows
 from .disk import LocalDisk
 from .extsort import external_sort, is_globally_sorted
 from .file import OocArray
 from .memory import MemoryBudget, MemoryExceededError
 
 __all__ = [
+    "BufferPool",
     "ChunkCorruptionError",
     "ColumnSet",
+    "POOL_MODES",
+    "PoolStats",
+    "default_batch_rows",
     "FileBackend",
     "InMemoryBackend",
     "LocalDisk",

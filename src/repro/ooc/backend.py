@@ -64,8 +64,10 @@ class StorageBackend(ABC):
 
 
 class InMemoryBackend(StorageBackend):
-    """Holds chunk payloads in RAM; copies on put/get so callers cannot
-    alias 'disk' contents (matching real-disk semantics)."""
+    """Holds chunk payloads in RAM; copies on put and serves read-only
+    views on get, so callers can neither corrupt 'disk' contents nor pay
+    a gratuitous copy on the hot read path (the buffer pool caches the
+    same immutable view it admits)."""
 
     def __init__(self) -> None:
         self._chunks: dict[int, np.ndarray] = {}
@@ -78,7 +80,9 @@ class InMemoryBackend(StorageBackend):
         return handle
 
     def get(self, handle: object) -> np.ndarray:
-        return self._chunks[handle].copy()
+        view = self._chunks[handle][...]
+        view.flags.writeable = False
+        return view
 
     def delete(self, handle: object) -> None:
         self._chunks.pop(handle, None)

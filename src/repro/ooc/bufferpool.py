@@ -1,0 +1,312 @@
+"""Per-rank buffer pool: an LRU chunk cache with overlapped prefetch.
+
+The paper distinguishes compute-dependent from compute-independent
+parallel I/O (Section 3): a streaming pass that re-reads a fragment the
+machine could have kept in RAM, or that waits for a read it could have
+issued ahead of the computation, pays for I/O the algorithm does not
+need. The :class:`BufferPool` models both remedies on the simulated
+machine:
+
+* **Caching** — chunk payloads read from the local disk are retained in
+  an LRU cache accounted against a :class:`~repro.ooc.memory.MemoryBudget`
+  (the rank's cache RAM, distinct from the paper's node-processing limit
+  that decides in-core vs. streaming). A cache hit serves the payload
+  for a small memory-copy charge instead of a seek + transfer, so the
+  SSE member pass and the partition pass of a node whose columns fit the
+  pool stop re-reading the disk.
+* **Overlapped prefetch** — during a streaming scan the read of chunk
+  *i+1* is issued while chunk *i* computes. The disk tracks an
+  I/O-completion horizon (:attr:`~repro.ooc.disk.LocalDisk.io_front`);
+  when the consumer arrives at the prefetched chunk it waits only for
+  the *remaining* transfer time, and the time saved is accounted in
+  ``RankStats.io_overlap_saved``.
+
+Integrity contract: a miss admits its payload with exactly one CRC
+verification (in :meth:`~repro.ooc.disk.LocalDisk.fetch_chunk`); hits
+skip the CRC re-walk because cached payloads are returned as read-only
+arrays that nothing can have mutated. ``overwrite``/``delete`` on the
+backing store invalidate the cached entry, so fault-injected bit flips
+are still caught by the CRC on the next (uncached) read.
+
+Determinism: the pool only changes *when* time is charged and which
+array object a reader receives — never payload values, RNG draws, or
+communication — so fitted trees are bit-identical with the pool on or
+off.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from .memory import MemoryBudget
+
+if TYPE_CHECKING:  # pool and disk reference each other; runtime import is lazy
+    from .columnset import ColumnSet
+    from .disk import LocalDisk
+
+__all__ = ["BufferPool", "PoolStats", "POOL_MODES", "DEFAULT_COPY_RATIO"]
+
+#: accepted values of the ``buffer_pool`` knob
+POOL_MODES = ("off", "lru", "lru+prefetch")
+
+#: memory-copy bandwidth of a cache hit, as a multiple of the disk
+#: model's transfer bandwidth (a late-90s node moved memory roughly two
+#: orders of magnitude faster than its local disk; 50x keeps hits cheap
+#: but not free, and scales with the harness's cost scaling for free)
+DEFAULT_COPY_RATIO = 50.0
+
+
+@dataclass
+class PoolStats:
+    """Counters for one rank's buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bypasses: int = 0  # payloads that could not be admitted (no room)
+    invalidations: int = 0  # entries dropped by overwrite/delete
+    prefetch_issued: int = 0
+    prefetch_useful: int = 0  # consumed by a later read
+    prefetch_wasted: int = 0  # invalidated or dropped before consumption
+    hit_bytes: int = 0
+    miss_bytes: int = 0
+    overlap_saved_s: float = 0.0  # disk time hidden behind compute
+    copy_s: float = 0.0  # memory-copy seconds charged for hits
+
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        n = self.lookups()
+        return self.hits / n if n else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
+
+@dataclass
+class _Entry:
+    """One cached chunk: resident (``array`` set) or in-flight prefetch
+    (``array`` is None until the consumer completes the read)."""
+
+    nbytes: int
+    array: np.ndarray | None = None
+    completion: float = 0.0  # absolute clock time the transfer finishes
+    rated_dt: float = 0.0  # full transfer duration in clock-domain seconds
+
+
+@dataclass
+class BufferPool:
+    """LRU chunk cache with pinning, drawn from a :class:`MemoryBudget`.
+
+    The pool sits between :class:`~repro.ooc.file.OocArray` and
+    :class:`~repro.ooc.disk.LocalDisk` (attach with
+    :meth:`LocalDisk.attach_pool`). Admission, eviction and prefetch all
+    acquire/release bytes on ``budget``, so ``budget.high_water`` bounds
+    the cache's true footprint. Pinned handles (the hot node the driver
+    is re-reading) are never evicted.
+    """
+
+    budget: MemoryBudget
+    prefetch: bool = False
+    copy_ratio: float = DEFAULT_COPY_RATIO
+    stats: PoolStats = field(default_factory=PoolStats)
+    disk: "LocalDisk | None" = None  # set by LocalDisk.attach_pool
+    _entries: "OrderedDict[object, _Entry]" = field(default_factory=OrderedDict)
+    _pinned: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.budget.limit is None:
+            raise ValueError("BufferPool needs a bounded MemoryBudget")
+
+    # -- capacity ------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return int(self.budget.limit or 0)
+
+    def would_cache(self, nbytes: int) -> bool:
+        """Could a working set of ``nbytes`` be wholly resident? Drivers
+        use this to decide whether pinning a node is worthwhile."""
+        return 0 < nbytes <= self.capacity
+
+    # -- pinning -------------------------------------------------------------
+    def pin(self, handles: Iterable[object]) -> None:
+        """Protect handles from eviction (they need not be resident yet)."""
+        self._pinned.update(handles)
+
+    def unpin(self, handles: Iterable[object]) -> None:
+        self._pinned.difference_update(handles)
+
+    def pin_columnset(self, cs: "ColumnSet") -> None:
+        """Pin every chunk of a node's fragment across its re-read passes."""
+        for f in cs.files():
+            self.pin(f.chunk_handles)
+
+    def unpin_columnset(self, cs: "ColumnSet") -> None:
+        for f in cs.files():
+            self.unpin(f.chunk_handles)
+
+    # -- the read path -------------------------------------------------------
+    def read(self, handle: object, nbytes: int, crc: int | None) -> np.ndarray:
+        """Serve one chunk: from cache (copy charge only), from an
+        in-flight prefetch (wait for the remaining transfer), or from the
+        disk (full charge, then admit)."""
+        entry = self._entries.get(handle)
+        if entry is not None and entry.array is not None:
+            self._entries.move_to_end(handle)
+            self.stats.hits += 1
+            self.stats.hit_bytes += int(nbytes)
+            self._charge_copy(nbytes)
+            return entry.array
+        if entry is not None:
+            return self._complete_inflight(handle, entry, nbytes, crc)
+        self.stats.misses += 1
+        self.stats.miss_bytes += int(nbytes)
+        self.disk.queued_read(nbytes)
+        arr = _read_only(self.disk.fetch_chunk(handle, nbytes, crc))
+        self._admit(handle, nbytes, arr)
+        return arr
+
+    def peek(self, handle: object, nbytes: int, crc: int | None) -> np.ndarray | None:
+        """Serve a chunk only if the pool already holds it (resident or
+        in flight), charging as :meth:`read` would; ``None`` on a cold
+        miss. Used by bulk reads that charge their misses as one
+        sequential transfer and do not admit single-use data."""
+        entry = self._entries.get(handle)
+        if entry is None:
+            return None
+        if entry.array is not None:
+            self._entries.move_to_end(handle)
+            self.stats.hits += 1
+            self.stats.hit_bytes += int(nbytes)
+            self._charge_copy(nbytes)
+            return entry.array
+        return self._complete_inflight(handle, entry, nbytes, crc)
+
+    def note_miss(self, nbytes: int) -> None:
+        """Account a cold miss whose transfer the caller charges itself."""
+        self.stats.misses += 1
+        self.stats.miss_bytes += int(nbytes)
+
+    def _complete_inflight(
+        self, handle: object, entry: _Entry, nbytes: int, crc: int | None
+    ) -> np.ndarray:
+        saved = self.disk.complete_prefetch(nbytes, entry.completion, entry.rated_dt)
+        self.stats.prefetch_useful += 1
+        self.stats.misses += 1  # the payload did move over the disk
+        self.stats.miss_bytes += int(nbytes)
+        self.stats.overlap_saved_s += saved
+        arr = _read_only(self.disk.fetch_chunk(handle, nbytes, crc))
+        entry.array = arr
+        self._entries.move_to_end(handle)
+        return arr
+
+    # -- prefetch ------------------------------------------------------------
+    def issue_prefetch(self, handle: object, nbytes: int) -> None:
+        """Start the read of a chunk the consumer will want next. Only
+        the disk's completion horizon moves — the consumer's clock is
+        untouched until it actually reads the chunk, so the transfer
+        overlaps whatever the rank computes in between."""
+        if not self.prefetch or nbytes <= 0:
+            return
+        if handle in self._entries:  # already resident or in flight
+            return
+        if not self._make_room(nbytes):
+            return
+        self.budget.acquire(nbytes)
+        completion, rated_dt = self.disk.issue_prefetch_io(nbytes)
+        self._entries[handle] = _Entry(
+            nbytes=int(nbytes), completion=completion, rated_dt=rated_dt
+        )
+        self.stats.prefetch_issued += 1
+
+    def delay_inflight(self, t0: float, delay: float) -> float:
+        """Push back every unfinished prefetch that a demand access
+        running ``[t0, t0+delay)`` preempted; returns the latest slipped
+        completion (0.0 when nothing was in flight)."""
+        latest = 0.0
+        for entry in self._entries.values():
+            if entry.array is None and entry.completion > t0:
+                entry.completion += delay
+                latest = max(latest, entry.completion)
+        return latest
+
+    # -- invalidation --------------------------------------------------------
+    def invalidate(self, handle: object) -> None:
+        """Drop a cached/in-flight chunk (its backing store changed)."""
+        self._pinned.discard(handle)
+        entry = self._entries.pop(handle, None)
+        if entry is None:
+            return
+        self.budget.release(entry.nbytes)
+        self.stats.invalidations += 1
+        if entry.array is None:
+            self.stats.prefetch_wasted += 1
+
+    def drop_inflight(self) -> None:
+        """Forget un-consumed prefetches (their completion times belong
+        to a clock that is being reset between runs)."""
+        for handle in [h for h, e in self._entries.items() if e.array is None]:
+            entry = self._entries.pop(handle)
+            self.budget.release(entry.nbytes)
+            self.stats.prefetch_wasted += 1
+
+    def clear(self) -> None:
+        """Drop everything (backend closed or machine torn down)."""
+        for entry in self._entries.values():
+            self.budget.release(entry.nbytes)
+            if entry.array is None:
+                self.stats.prefetch_wasted += 1
+        self._entries.clear()
+        self._pinned.clear()
+
+    # -- internals -----------------------------------------------------------
+    def _admit(self, handle: object, nbytes: int, arr: np.ndarray) -> None:
+        if not self._make_room(nbytes):
+            self.stats.bypasses += 1
+            return
+        self.budget.acquire(nbytes)
+        self._entries[handle] = _Entry(nbytes=int(nbytes), array=arr)
+
+    def _make_room(self, nbytes: int) -> bool:
+        if nbytes > self.capacity:
+            return False
+        while not self.budget.fits(nbytes):
+            if not self._evict_one():
+                return False
+        return True
+
+    def _evict_one(self) -> bool:
+        """Evict the least-recently-used resident, unpinned entry.
+        In-flight prefetches are never evicted (their budget is released
+        on consumption, invalidation or reset)."""
+        victim = None
+        for handle, entry in self._entries.items():
+            if entry.array is not None and handle not in self._pinned:
+                victim = handle
+                break
+        if victim is None:
+            return False
+        entry = self._entries.pop(victim)
+        self.budget.release(entry.nbytes)
+        self.stats.evictions += 1
+        return True
+
+    def _charge_copy(self, nbytes: int) -> None:
+        disk = self.disk
+        dt = nbytes / (self.copy_ratio * disk.model.bandwidth)
+        disk.clock.advance(dt)
+        disk.stats.compute_time += dt
+        self.stats.copy_s += dt
+
+
+def _read_only(arr: np.ndarray) -> np.ndarray:
+    """Mark a fetched payload immutable so every consumer of the shared
+    cached array sees exactly the bytes that were CRC-verified."""
+    if arr.flags.writeable:
+        arr.flags.writeable = False
+    return arr

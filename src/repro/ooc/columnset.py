@@ -19,6 +19,22 @@ from .disk import LocalDisk
 from .file import OocArray
 
 
+def default_batch_rows(disk: LocalDisk, schema: Schema) -> int:
+    """Chunk granularity when the writer does not pick one.
+
+    A row batch spans a few disk blocks so per-column chunks amortise the
+    seek, and is capped to a fraction of the buffer pool (when one is
+    attached) so a streaming scan cycles several chunks through the
+    cache instead of one monolithic chunk that can never be prefetched
+    or partially retained.
+    """
+    target = 4 * disk.model.block
+    pool = disk.pool
+    if pool is not None and pool.capacity > 0:
+        target = min(target, max(disk.model.block, pool.capacity // 8))
+    return max(1, int(target) // max(1, schema.row_nbytes()))
+
+
 class ColumnSet:
     """Aligned per-attribute files + labels for one node fragment."""
 
@@ -47,7 +63,7 @@ class ColumnSet:
         sets the chunking granularity for later scans)."""
         cs = cls(disk, schema, name=name)
         n = schema.validate_columns(columns, labels)
-        step = batch_rows or max(n, 1)
+        step = batch_rows or default_batch_rows(disk, schema)
         for lo in range(0, n, step):
             hi = min(lo + step, n)
             cs.append_batch({k: v[lo:hi] for k, v in columns.items()}, labels[lo:hi])
@@ -74,6 +90,11 @@ class ColumnSet:
 
     def column(self, name: str) -> OocArray:
         return self._columns[name]
+
+    def files(self) -> Iterator[OocArray]:
+        """Every file of the fragment (all columns, then labels)."""
+        yield from self._columns.values()
+        yield self._labels
 
     @property
     def labels_file(self) -> OocArray:

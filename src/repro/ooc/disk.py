@@ -55,11 +55,38 @@ class LocalDisk:
         self.backend = backend if backend is not None else InMemoryBackend()
         #: optional event sink with a ``record_disk(op, nbytes, t0, t1)`` method.
         self.tracer = None
+        #: optional :class:`~repro.ooc.bufferpool.BufferPool` (see
+        #: :meth:`attach_pool`); ``None`` keeps the legacy direct path.
+        self.pool = None
+        #: absolute clock time at which the disk finishes its last issued
+        #: request — the I/O-completion horizon that overlapped prefetch
+        #: reads are sequenced behind (one disk arm per node).
+        self.io_front = 0.0
+
+    def attach_pool(self, pool) -> None:
+        """Install a buffer pool between callers and the backend.
+
+        The backend is wrapped so ``overwrite``/``delete`` invalidate the
+        pool's cached entry first — a fault-injected bit flip lands on
+        the stored payload *and* evicts the stale cache line, so the next
+        read re-fetches and the CRC check still catches it.
+        """
+        pool.disk = self
+        self.pool = pool
+        self.backend = _InvalidatingBackend(self.backend, pool)
+
+    def reset_io_queue(self) -> None:
+        """Forget the completion horizon (clocks are being reset between
+        runs); un-consumed prefetches die with the old time domain."""
+        self.io_front = 0.0
+        if self.pool is not None:
+            self.pool.drop_inflight()
 
     def charge_read(self, nbytes: int, *, sequential: bool = True) -> None:
         t0 = self.clock.now
         dt = self.model.access(nbytes, sequential=sequential)
         self.clock.advance(dt)
+        self._preempt_prefetch(t0)
         self.stats.io_time += dt
         self.stats.bytes_read += int(nbytes)
         self.stats.io_calls += 1
@@ -70,11 +97,61 @@ class LocalDisk:
         t0 = self.clock.now
         dt = self.model.access(nbytes, sequential=sequential)
         self.clock.advance(dt)
+        self._preempt_prefetch(t0)
         self.stats.io_time += dt
         self.stats.bytes_written += int(nbytes)
         self.stats.io_calls += 1
         if self.tracer is not None:
             self.tracer.record_disk("write", int(nbytes), t0, self.clock.now)
+
+    # -- overlapped prefetch (buffer-pool path) ------------------------------
+    def queued_read(self, nbytes: int, *, sequential: bool = True) -> None:
+        """Charge a synchronous (demand) read on the buffer-pool path.
+        Demand I/O preempts background prefetch (see
+        :meth:`_preempt_prefetch`), so this costs exactly a
+        :meth:`charge_read` and never waits behind a prefetch."""
+        self.charge_read(nbytes, sequential=sequential)
+
+    def _preempt_prefetch(self, t0: float) -> None:
+        """Slip every unfinished prefetch past a demand access that ran
+        ``[t0, now)`` (one disk arm; demand traffic has priority)."""
+        if self.pool is None:
+            return
+        delay = self.clock.now - t0
+        if delay <= 0.0:
+            return
+        latest = self.pool.delay_inflight(t0, delay)
+        self.io_front = max(self.clock.now, latest)
+
+    def issue_prefetch_io(self, nbytes: int) -> tuple[float, float]:
+        """Queue an asynchronous read of ``nbytes`` on the disk without
+        advancing the rank's clock (compute-independent I/O, Section 3).
+        Returns ``(completion_time, rated_duration)``; the consumer pays
+        only the part of the transfer that compute did not hide."""
+        dt = self.model.access(nbytes, sequential=True)
+        start = max(self.clock.now, self.io_front)
+        completion = start + dt * self.clock.rate
+        self.io_front = completion
+        if self.tracer is not None:
+            self.tracer.record_disk("prefetch", int(nbytes), start, completion)
+        return completion, completion - start
+
+    def complete_prefetch(
+        self, nbytes: int, completion: float, rated_dt: float
+    ) -> float:
+        """Account the consumer's arrival at a prefetched chunk: wait for
+        whatever is left of the transfer, record the volume once (the
+        transfer itself was traced at issue time), and return the time
+        the overlap saved versus a synchronous read."""
+        wait = max(0.0, completion - self.clock.now)
+        if wait:
+            self.clock.advance_to(completion)
+        saved = max(0.0, rated_dt - wait)
+        self.stats.io_time += wait
+        self.stats.io_overlap_saved += saved
+        self.stats.bytes_read += int(nbytes)
+        self.stats.io_calls += 1
+        return saved
 
     # -- integrity-checked chunk access -------------------------------------
     def store_chunk(self, arr: np.ndarray) -> tuple[object, int]:
@@ -129,4 +206,37 @@ class LocalDisk:
             self.tracer.record_disk("retry", int(nbytes), t0, self.clock.now)
 
     def close(self) -> None:
+        if self.pool is not None:
+            self.pool.clear()
         self.backend.close()
+
+
+class _InvalidatingBackend(StorageBackend):
+    """Innermost backend wrapper: keeps the buffer pool coherent with the
+    store. It sits *inside* any fault-injection wrapper, so even faults
+    that rewrite payloads directly on the inner backend (bit-flip
+    corruption) pass through here and drop the stale cache line."""
+
+    def __init__(self, inner: StorageBackend, pool) -> None:
+        self._inner = inner
+        self._pool = pool
+
+    def put(self, arr):
+        return self._inner.put(arr)
+
+    def get(self, handle):
+        return self._inner.get(handle)
+
+    def delete(self, handle) -> None:
+        self._pool.invalidate(handle)
+        self._inner.delete(handle)
+
+    def overwrite(self, handle, arr) -> None:
+        self._pool.invalidate(handle)
+        self._inner.overwrite(handle, arr)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __getattr__(self, name):  # resident_bytes, chunks_created, root, ...
+        return getattr(self._inner, name)

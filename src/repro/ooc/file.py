@@ -45,6 +45,11 @@ class OocArray:
     def nchunks(self) -> int:
         return len(self._handles)
 
+    @property
+    def chunk_handles(self) -> tuple[object, ...]:
+        """Backend handles of the file's chunks (for buffer-pool pinning)."""
+        return tuple(self._handles)
+
     # -- writing ----------------------------------------------------------------
     def append(self, arr: np.ndarray) -> None:
         """Append one chunk (charged as one sequential write)."""
@@ -63,26 +68,63 @@ class OocArray:
     # -- reading ----------------------------------------------------------------
     def iter_chunks(self) -> Iterator[np.ndarray]:
         """Stream the file's chunks in order (one sequential read each,
-        checksum-verified)."""
+        checksum-verified at fetch, or at pool admission when a buffer
+        pool is attached — cached chunks come back read-only)."""
         self._check_open()
-        for handle, length, crc in zip(self._handles, self._lengths, self._crcs):
-            nbytes = length * self.dtype.itemsize
-            self.disk.charge_read(nbytes)
-            yield self.disk.fetch_chunk(handle, nbytes, crc)
+        pool = self.disk.pool
+        if pool is None:
+            for handle, length, crc in zip(self._handles, self._lengths, self._crcs):
+                nbytes = length * self.dtype.itemsize
+                self.disk.charge_read(nbytes)
+                yield self.disk.fetch_chunk(handle, nbytes, crc)
+            return
+        yield from self._iter_chunks_pooled(pool)
+
+    def _iter_chunks_pooled(self, pool) -> Iterator[np.ndarray]:
+        itemsize = self.dtype.itemsize
+        metas = list(zip(self._handles, self._lengths, self._crcs))
+        for i, (handle, length, crc) in enumerate(metas):
+            arr = pool.read(handle, length * itemsize, crc)
+            if i + 1 < len(metas):
+                # issue chunk i+1 before the consumer computes on chunk i,
+                # so the transfer overlaps that compute
+                nxt_handle, nxt_length, _ = metas[i + 1]
+                pool.issue_prefetch(nxt_handle, nxt_length * itemsize)
+            yield arr
 
     def read_all(self) -> np.ndarray:
         """Materialise the whole file in memory (one sequential scan,
-        checksum-verified)."""
+        checksum-verified). With a buffer pool, cached chunks are served
+        from memory and only the missing bytes are charged — still as a
+        single sequential transfer. Bulk reads are single-use, so misses
+        are not admitted to the pool."""
         self._check_open()
         if not self._handles:
             return np.empty(0, dtype=self.dtype)
-        self.disk.charge_read(self.nbytes)
-        return np.concatenate(
-            [
-                self.disk.fetch_chunk(h, n * self.dtype.itemsize, c)
-                for h, n, c in zip(self._handles, self._lengths, self._crcs)
-            ]
-        )
+        itemsize = self.dtype.itemsize
+        pool = self.disk.pool
+        if pool is None:
+            self.disk.charge_read(self.nbytes)
+            return np.concatenate(
+                [
+                    self.disk.fetch_chunk(h, n * itemsize, c)
+                    for h, n, c in zip(self._handles, self._lengths, self._crcs)
+                ]
+            )
+        parts: list[np.ndarray | None] = []
+        missing: list[tuple[int, object, int, int | None]] = []
+        for h, n, c in zip(self._handles, self._lengths, self._crcs):
+            nbytes = n * itemsize
+            arr = pool.peek(h, nbytes, c)
+            if arr is None:
+                pool.note_miss(nbytes)
+                missing.append((len(parts), h, nbytes, c))
+            parts.append(arr)
+        if missing:
+            self.disk.queued_read(sum(m[2] for m in missing))
+            for idx, h, nbytes, c in missing:
+                parts[idx] = self.disk.fetch_chunk(h, nbytes, c)
+        return np.concatenate(parts)
 
     # -- lifecycle ----------------------------------------------------------------
     def delete(self) -> None:

@@ -48,6 +48,15 @@ class MemoryBudget:
             )
         return _Reservation(self, int(nbytes))
 
+    def acquire(self, nbytes: int) -> None:
+        """Take ``nbytes`` without a context manager (the buffer pool's
+        entries have open-ended lifetimes). Callers check :meth:`fits`
+        first; pair with :meth:`release`."""
+        self._acquire(int(nbytes))
+
+    def release(self, nbytes: int) -> None:
+        self._release(int(nbytes))
+
     def _acquire(self, nbytes: int) -> None:
         self.reserved += nbytes
         self.high_water = max(self.high_water, self.reserved)

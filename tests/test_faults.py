@@ -154,7 +154,7 @@ class TestStorageIntegrity:
             f.append(np.arange(8, dtype=np.float64))
             # flip a bit behind the file's back
             handle = f._handles[0]
-            bad = ctx.disk.backend.get(handle)
+            bad = ctx.disk.backend.get(handle).copy()
             bad[3] = -999.0
             ctx.disk.backend.overwrite(handle, bad)
             return f.read_all()
@@ -256,7 +256,7 @@ class TestCheckpointStore:
         store.save(disk, "good", {"v": 1})
         store.save(disk, "bad", {"v": 2})
         entry = store._entries[-1]
-        payload = disk.backend.get(entry.handle)
+        payload = disk.backend.get(entry.handle).copy()
         payload[0] ^= 0xFF
         disk.backend.overwrite(entry.handle, payload)
         label, state = store.load_latest(disk)

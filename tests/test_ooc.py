@@ -42,11 +42,14 @@ class TestBackends:
         arr[0] = 99.0
         assert b.get(h)[0] == 0.0
 
-    def test_in_memory_copies_on_get(self):
+    def test_in_memory_get_is_read_only(self):
+        # get() hands out a zero-copy view; the read-only flag is what
+        # protects the stored payload (and the CRC taken over it)
         b = InMemoryBackend()
         h = b.put(np.zeros(4))
         out = b.get(h)
-        out[0] = 5.0
+        with pytest.raises(ValueError):
+            out[0] = 5.0
         assert b.get(h)[0] == 0.0
 
     def test_delete_frees(self):
