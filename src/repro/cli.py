@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Seven subcommands cover the workflows the paper's users would run::
+Eight subcommands cover the workflows the paper's users would run::
 
     repro generate --records 50000 --function 2 --out data.npz
     repro train data.npz --builder pclouds --ranks 8 --tree-out tree.json
     repro evaluate tree.json data.npz
+    repro serve --tree tree.json --records 1000000 --qps 500000
     repro speedup --records 18000 --ranks 1 2 4 8
     repro trace --records 4000 --ranks 4 --out trace.json
     repro chaos --records 4000 --ranks 4 --seeds 0 1 2
@@ -161,6 +162,102 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     else:
         acc = accuracy(labels, tree.predict(columns))
         print(f"accuracy {acc:.4f} over {len(labels):,} records")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Compile a tree and replay a Quest record stream through the
+    batched serving engine at a target QPS, reporting exact p50/p99
+    latency and records/sec via the ``repro_serve_*`` metric family."""
+    import json
+
+    from repro.obs import HealthThresholds, to_prometheus
+    from repro.serve import ReplayConfig, ServeEngine, replay
+
+    schema = quest_schema()
+    if args.tree:
+        tree = DecisionTree.load(args.tree, schema)
+        source = args.tree
+    else:
+        cols, labels = generate_quest(
+            args.train_records, function=args.function, seed=args.seed
+        )
+        from repro.clouds import StoppingRule
+
+        tree = fit_direct(
+            schema, cols, labels, StoppingRule(min_node=args.min_node)
+        )
+        source = f"direct fit on {args.train_records:,} generated records"
+    compiled = tree.compile()
+    print(
+        f"model: {source} — {compiled.n_nodes:,} nodes "
+        f"({compiled.n_leaves:,} leaves, depth {compiled.depth}), "
+        f"{compiled.nbytes / 1024:.1f} KiB compiled tables"
+    )
+
+    engine = ServeEngine(compiled)
+    config = ReplayConfig(
+        n_records=args.records,
+        batch_size=args.batch_size,
+        target_qps=args.qps,
+        function=args.function,
+        seed=args.seed + 1,
+        noise=args.noise,
+    )
+    thresholds = HealthThresholds(
+        serve_p99_seconds=args.p99_ms / 1e3,
+        serve_min_qps_ratio=args.min_qps_ratio,
+    )
+    report = replay(engine, config, thresholds)
+    print(report.render())
+
+    # parity spot-check: the compiled engine must match the reference
+    # tree on served traffic
+    from repro.serve import request_batches
+
+    check_cols, _ = request_batches(
+        ReplayConfig(
+            n_records=min(args.records, 50_000),
+            batch_size=min(args.records, 50_000),
+            function=args.function,
+            seed=args.seed + 1,
+            noise=args.noise,
+        )
+    )
+    ok = bool(
+        np.array_equal(
+            compiled.predict_batch(check_cols[0]), tree.predict(check_cols[0])
+        )
+    )
+    print(
+        f"reference parity on {len(next(iter(check_cols[0].values()))):,} "
+        f"records: {'OK' if ok else 'MISMATCH'}"
+    )
+
+    if args.json_out:
+        payload = {
+            "model": {
+                "source": source,
+                "n_nodes": compiled.n_nodes,
+                "n_leaves": compiled.n_leaves,
+                "depth": compiled.depth,
+                "table_bytes": compiled.nbytes,
+            },
+            "replay": report.to_dict(),
+            "reference_parity": ok,
+            "metrics": engine.registry.snapshot(),
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, default=float)
+        print(f"wrote serve report JSON to {args.json_out}")
+    if args.prom_out:
+        with open(args.prom_out, "w") as fh:
+            fh.write(to_prometheus(engine.registry))
+        print(f"wrote Prometheus text exposition to {args.prom_out}")
+    if not ok:
+        return 1
+    if args.strict and not report.healthy:
+        return 1
     return 0
 
 
@@ -389,6 +486,41 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--ranks", type=int, default=1, help=">1: distributed evaluation")
     e.add_argument("--seed", type=int, default=0)
     e.set_defaults(func=cmd_evaluate)
+
+    sv = sub.add_parser(
+        "serve",
+        help="compile a tree and replay record batches at a target QPS "
+        "(batched inference: p50/p99 latency, records/sec)",
+    )
+    sv.add_argument("--tree", help="tree JSON from `repro train --tree-out`")
+    sv.add_argument(
+        "--train-records", type=int, default=20_000,
+        help="without --tree: fit a direct tree on this many records",
+    )
+    sv.add_argument("--min-node", type=int, default=16)
+    sv.add_argument("--records", type=int, default=1_000_000)
+    sv.add_argument("--batch-size", type=int, default=4096)
+    sv.add_argument(
+        "--qps", type=float, default=0.0,
+        help="target records/sec (0 = unthrottled)",
+    )
+    sv.add_argument("--function", type=int, default=2, choices=range(1, 11))
+    sv.add_argument("--noise", type=float, default=0.0)
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument(
+        "--p99-ms", type=float, default=50.0,
+        help="serve-latency health threshold (p99 batch latency, ms)",
+    )
+    sv.add_argument(
+        "--min-qps-ratio", type=float, default=0.9,
+        help="alert when achieved/target throughput falls below this",
+    )
+    sv.add_argument("--json-out", help="write the serve report JSON")
+    sv.add_argument("--prom-out", help="write Prometheus text exposition")
+    sv.add_argument(
+        "--strict", action="store_true", help="exit nonzero on any alert"
+    )
+    sv.set_defaults(func=cmd_serve)
 
     tr = sub.add_parser(
         "trace",

@@ -30,13 +30,33 @@ class Split:
                 raise ValueError("categorical split needs a non-empty left set")
         else:
             raise ValueError(f"unknown split kind {self.kind!r}")
+        # cached outside the dataclass fields so eq/hash stay value-based;
+        # int64 (not the caller's dtype) so float queries are compared by
+        # value instead of through a silent cast of the codes
+        codes = (
+            np.array(sorted(self.left_codes), dtype=np.int64)
+            if self.left_codes
+            else None
+        )
+        object.__setattr__(self, "_codes", codes)
+
+    @property
+    def left_codes_array(self) -> np.ndarray | None:
+        """Sorted ``int64`` array of the left codes (``None`` for numeric
+        splits); built once at construction, shared by every caller."""
+        return self._codes
 
     def goes_left(self, values: np.ndarray) -> np.ndarray:
-        """Boolean mask of records routed to the left child."""
+        """Boolean mask of records routed to the left child.
+
+        Numeric: ``values <= threshold`` (NaN compares false, so missing
+        values route right). Categorical: membership of the integer code
+        in the precomputed left set.
+        """
         values = np.asarray(values)
         if self.kind == NUMERIC_SPLIT:
             return values <= self.threshold
-        return np.isin(values, np.fromiter(self.left_codes, dtype=values.dtype))
+        return np.isin(values, self._codes)
 
     def describe(self) -> str:
         if self.kind == NUMERIC_SPLIT:

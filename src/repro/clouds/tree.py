@@ -2,14 +2,19 @@
 
 from __future__ import annotations
 
+import contextlib
+import sys
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
 from repro.data.schema import LABEL_DTYPE, Schema
 
 from .splits import CATEGORICAL_SPLIT, NUMERIC_SPLIT, Split
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve import CompiledTree
 
 
 @dataclass
@@ -83,40 +88,75 @@ class DecisionTree:
 
     # -- inference ----------------------------------------------------------
     def predict(self, columns: dict[str, np.ndarray]) -> np.ndarray:
-        """Vectorised prediction for a column dict."""
+        """Vectorised prediction for a column dict.
+
+        Routing walks the tree with an explicit work stack (never Python
+        recursion), so trees of any depth — including degenerate chains
+        deeper than ``sys.getrecursionlimit()`` — predict fine. This is
+        the *reference* read path; :meth:`compile` produces the flat-array
+        engine that must match it bit for bit.
+        """
         n = len(next(iter(columns.values()))) if columns else 0
         out = np.empty(n, dtype=LABEL_DTYPE)
-        idx = np.arange(n)
-
-        def route(node: TreeNode, rows: np.ndarray) -> None:
+        stack: list[tuple[TreeNode, np.ndarray]] = [(self.root, np.arange(n))]
+        while stack:
+            node, rows = stack.pop()
             if rows.size == 0:
-                return
+                continue
             if node.is_leaf:
                 out[rows] = node.label
-                return
+                continue
             mask = node.split.goes_left(columns[node.split.attribute][rows])
-            route(node.left, rows[mask])
-            route(node.right, rows[~mask])
-
-        route(self.root, idx)
+            stack.append((node.right, rows[~mask]))
+            stack.append((node.left, rows[mask]))
         return out
+
+    def compile(self) -> "CompiledTree":
+        """Flatten into a :class:`repro.serve.CompiledTree` — node-major
+        numpy tables evaluated levelwise for batched serving."""
+        from repro.serve import compile_tree
+
+        return compile_tree(self)
 
     # -- serialisation ---------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-serialisable representation (for logging / cross-process
-        assembly)."""
-        return {"root": encode_node(self.root), "n_classes": self.schema.n_classes}
+        assembly). Carries ``meta`` so :meth:`save`/:meth:`load` round-trip
+        provenance; compare ``["root"]`` when checking structural identity
+        across differently-provenanced runs."""
+        return {
+            "root": encode_node(self.root),
+            "n_classes": self.schema.n_classes,
+            "meta": dict(self.meta),
+        }
 
     @classmethod
     def from_dict(cls, data: dict, schema: Schema) -> "DecisionTree":
-        return cls(root=decode_node(data["root"]), schema=schema)
+        stored = data.get("n_classes")
+        if stored is not None and int(stored) != schema.n_classes:
+            raise ValueError(
+                f"stored tree has n_classes={stored} but schema expects "
+                f"{schema.n_classes}; class_counts comparisons would be "
+                "mis-shaped — load with the schema the tree was fitted on"
+            )
+        return cls(
+            root=decode_node(data["root"]),
+            schema=schema,
+            meta=dict(data.get("meta", {})),
+        )
 
     def save(self, path: str) -> None:
         """Write the tree as JSON (the wire format of :meth:`to_dict`)."""
         import json
 
+        payload = self.to_dict()
+        # the C json encoder recurses once per nesting level; give it
+        # headroom proportional to the tree depth so degenerate chains
+        # deeper than the interpreter limit still serialise
+        with _recursion_headroom(2 * self.depth + 64):
+            text = json.dumps(payload)
         with open(path, "w") as fh:
-            json.dump(self.to_dict(), fh)
+            fh.write(text)
 
     @classmethod
     def load(cls, path: str, schema: Schema) -> "DecisionTree":
@@ -124,59 +164,120 @@ class DecisionTree:
         import json
 
         with open(path) as fh:
-            return cls.from_dict(json.load(fh), schema)
+            text = fh.read()
+        try:
+            data = json.loads(text)
+        except RecursionError:
+            with _recursion_headroom(2 * _json_nesting_depth(text) + 64):
+                data = json.loads(text)
+        return cls.from_dict(data, schema)
 
     def describe(self, max_depth: int | None = None) -> str:
-        """Human-readable sketch of the tree."""
+        """Human-readable sketch of the tree (preorder, left before
+        right), via an explicit stack so depth is unbounded."""
         lines: list[str] = []
-
-        def walk(node: TreeNode, indent: int) -> None:
+        stack: list[tuple[TreeNode, int]] = [(self.root, 0)]
+        while stack:
+            node, indent = stack.pop()
             pad = "  " * indent
             if max_depth is not None and node.depth > max_depth:
                 lines.append(f"{pad}...")
-                return
+                continue
             if node.is_leaf:
                 lines.append(f"{pad}leaf label={node.label} n={node.n}")
             else:
                 lines.append(f"{pad}{node.split.describe()} (n={node.n})")
-                walk(node.left, indent + 1)
-                walk(node.right, indent + 1)
-
-        walk(self.root, 0)
+                stack.append((node.right, indent + 1))
+                stack.append((node.left, indent + 1))
         return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def _recursion_headroom(depth: int):
+    """Temporarily raise the interpreter recursion limit to at least
+    ``depth`` (the json module's C encoder/scanner charge one level per
+    nesting level even though they never grow the Python stack)."""
+    limit = sys.getrecursionlimit()
+    if depth <= limit:
+        yield
+        return
+    sys.setrecursionlimit(depth)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(limit)
+
+
+def _json_nesting_depth(text: str) -> int:
+    """Maximum bracket nesting of a JSON document (string-literal aware);
+    linear scan used to size the recursion headroom when loading trees of
+    unknown depth."""
+    depth = max_depth = 0
+    in_string = escaped = False
+    for ch in text:
+        if in_string:
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+        elif ch == '"':
+            in_string = True
+        elif ch in "{[":
+            depth += 1
+            if depth > max_depth:
+                max_depth = depth
+        elif ch in "}]":
+            depth -= 1
+    return max_depth
 
 
 def encode_node(node: TreeNode) -> dict:
     """JSON-serialisable encoding of one subtree (the wire format the
-    parallel small-node phase ships subtrees with)."""
-    d: dict = {
-        "node_id": node.node_id,
-        "depth": node.depth,
-        "class_counts": node.class_counts.tolist(),
-    }
-    if not node.is_leaf:
-        s = node.split
-        d["split"] = {
-            "attribute": s.attribute,
-            "kind": s.kind,
-            "gini": s.gini,
-            "threshold": s.threshold,
-            "left_codes": sorted(s.left_codes) if s.left_codes else None,
-        }
-        d["left"] = encode_node(node.left)
-        d["right"] = encode_node(node.right)
-    return d
+    parallel small-node phase ships subtrees with). Iterative — an
+    explicit stack fills child dicts in place — so arbitrarily deep
+    subtrees encode without hitting the recursion limit."""
+    out: dict = {}
+    stack: list[tuple[TreeNode, dict]] = [(node, out)]
+    while stack:
+        n, d = stack.pop()
+        d["node_id"] = n.node_id
+        d["depth"] = n.depth
+        d["class_counts"] = n.class_counts.tolist()
+        if not n.is_leaf:
+            s = n.split
+            d["split"] = {
+                "attribute": s.attribute,
+                "kind": s.kind,
+                "gini": s.gini,
+                "threshold": s.threshold,
+                "left_codes": sorted(s.left_codes) if s.left_codes else None,
+            }
+            d["left"] = left = {}
+            d["right"] = right = {}
+            stack.append((n.right, right))
+            stack.append((n.left, left))
+    return out
 
 
 def decode_node(d: dict) -> TreeNode:
-    """Inverse of :func:`encode_node`."""
-    node = TreeNode(
-        node_id=d["node_id"],
-        depth=d["depth"],
-        class_counts=np.asarray(d["class_counts"], dtype=np.int64),
-    )
-    if "split" in d:
-        s = d["split"]
+    """Inverse of :func:`encode_node` (likewise iterative)."""
+
+    def make(dd: dict) -> TreeNode:
+        return TreeNode(
+            node_id=dd["node_id"],
+            depth=dd["depth"],
+            class_counts=np.asarray(dd["class_counts"], dtype=np.int64),
+        )
+
+    root = make(d)
+    stack: list[tuple[dict, TreeNode]] = [(d, root)]
+    while stack:
+        dd, node = stack.pop()
+        if "split" not in dd:
+            continue
+        s = dd["split"]
         node.split = Split(
             attribute=s["attribute"],
             kind=s["kind"],
@@ -184,9 +285,11 @@ def decode_node(d: dict) -> TreeNode:
             threshold=s["threshold"],
             left_codes=(frozenset(s["left_codes"]) if s["left_codes"] else None),
         )
-        node.left = decode_node(d["left"])
-        node.right = decode_node(d["right"])
-    return node
+        node.left = make(dd["left"])
+        node.right = make(dd["right"])
+        stack.append((dd["right"], node.right))
+        stack.append((dd["left"], node.left))
+    return root
 
 
 def validate_tree(tree: DecisionTree) -> None:

@@ -109,6 +109,12 @@ class HealthThresholds:
     #: levels whose mean busy time is below this are too small for the
     #: ratio indicators to be meaningful and are not alerted on
     min_level_busy: float = 1e-6
+    #: serving-path indicators (``repro serve`` / the replay driver):
+    #: alert when the replay's exact p99 batch latency exceeds this many
+    #: host seconds, or when the achieved record rate falls below this
+    #: fraction of the requested target QPS
+    serve_p99_seconds: float = 0.05
+    serve_min_qps_ratio: float = 0.9
 
 
 @dataclass(frozen=True)

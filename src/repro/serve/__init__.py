@@ -1,0 +1,42 @@
+"""Batched inference serving: the repo's production read path.
+
+Training (the write path) produces a pointer-based
+:class:`~repro.clouds.DecisionTree`; this package turns it into
+something that can face traffic:
+
+* :mod:`repro.serve.compiler` — :func:`compile_tree` flattens a fitted
+  tree into node-major numpy tables and
+  :class:`CompiledTree.predict_batch` evaluates request batches with
+  levelwise gathers, bit-identical to the (iterative) reference
+  ``DecisionTree.predict``;
+* :mod:`repro.serve.engine` — :class:`ServeEngine` wraps a compiled
+  model with the ``repro_serve_*`` metric family (request/record
+  counters, latency histogram, exact p50/p99 gauges) on the shared
+  :class:`~repro.obs.MetricsRegistry`;
+* :mod:`repro.serve.replay` — :func:`replay` drives Quest record
+  batches through an engine at a target QPS and reports exact
+  p50/p99/records-per-sec plus serve-latency health alerts.
+
+``repro serve`` (the CLI) and ``benchmarks/bench_serve.py`` are thin
+drivers over these three layers.
+"""
+
+from .compiler import CompiledTree, compile_tree
+from .engine import (
+    SERVE_LATENCY_BUCKETS,
+    ServeEngine,
+    register_serve_metrics,
+)
+from .replay import ReplayConfig, ReplayReport, replay, request_batches
+
+__all__ = [
+    "CompiledTree",
+    "ReplayConfig",
+    "ReplayReport",
+    "SERVE_LATENCY_BUCKETS",
+    "ServeEngine",
+    "compile_tree",
+    "register_serve_metrics",
+    "replay",
+    "request_batches",
+]

@@ -1,0 +1,259 @@
+"""Compile a fitted :class:`~repro.clouds.DecisionTree` into flat arrays.
+
+The pointer tree the builders produce is the single source of truth, but
+chasing Python object pointers per record is the wrong shape for a read
+path that has to serve millions of records. :func:`compile_tree` flattens
+the tree into **node-major numpy tables** laid out in breadth-first
+order — feature index, threshold, left/right child, majority label, and a
+per-node **categorical-membership bitset** — and
+:meth:`CompiledTree.predict_batch` evaluates a whole request batch with
+levelwise ``np.take`` gathers over an array of per-record cursors: every
+iteration advances *all* records still inside the tree by one level at
+once, the vectorized analogue of the evaluate-all-levels-at-once trick
+from "Speculative Parallel Evaluation of Classification Trees on GPGPU
+Compute Engines" (PAPERS.md).
+
+Semantics are pinned **bit-identical** to the reference
+``DecisionTree.predict``:
+
+* numeric: ``value <= threshold`` routes left, so NaN (which compares
+  false) routes right, exactly like the reference;
+* categorical: integer-code membership in the split's left set via the
+  bitset; non-integral, negative or out-of-range values are members of
+  nothing and route right, exactly like ``np.isin`` against the code
+  array.
+
+Compilation itself is iterative (breadth-first queue), so degenerate
+chain trees deeper than the interpreter recursion limit compile fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.data.schema import LABEL_DTYPE, Schema
+
+from repro.clouds.splits import NUMERIC_SPLIT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clouds.tree import DecisionTree
+
+__all__ = ["CompiledTree", "compile_tree"]
+
+#: sentinel child / feature index marking a leaf row
+LEAF = -1
+
+
+@dataclass(frozen=True)
+class CompiledTree:
+    """A fitted tree flattened into node-major tables (breadth-first
+    order, root at row 0).
+
+    Rows are nodes. ``feature[i] == LEAF`` marks a leaf; internal rows
+    carry the schema-ordered feature index, the numeric ``threshold``
+    (NaN on categorical rows) and the children. ``catmask`` packs each
+    categorical split's left-code set into 64-bit words; ``label`` holds
+    every node's majority class so the cursor array doubles as the
+    output gather index.
+    """
+
+    schema: Schema
+    feature: np.ndarray  # int32[n] schema feature index, LEAF at leaves
+    threshold: np.ndarray  # float64[n], NaN at leaves / categorical rows
+    left: np.ndarray  # int32[n] child row, LEAF at leaves
+    right: np.ndarray  # int32[n]
+    label: np.ndarray  # LABEL_DTYPE[n] majority class of every node
+    is_cat: np.ndarray  # bool[n] categorical-split rows
+    catmask: np.ndarray  # uint64[n, n_words] left-code bitsets
+    node_id: np.ndarray  # int32[n] original builder node ids
+    depth: int  # deepest node
+
+    # -- shape -------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.count_nonzero(self.feature == LEAF))
+
+    @property
+    def nbytes(self) -> int:
+        """Total table bytes (the whole model, cache-resident for any
+        realistic tree)."""
+        return sum(
+            a.nbytes
+            for a in (
+                self.feature,
+                self.threshold,
+                self.left,
+                self.right,
+                self.label,
+                self.is_cat,
+                self.catmask,
+                self.node_id,
+            )
+        )
+
+    @property
+    def used_features(self) -> np.ndarray:
+        """Sorted schema indices of features the tree actually tests."""
+        return np.unique(self.feature[self.feature != LEAF])
+
+    @property
+    def has_categorical(self) -> bool:
+        return bool(self.is_cat.any())
+
+    # -- evaluation --------------------------------------------------------
+    def feature_matrix(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Gather the request columns into one record-major ``float64``
+        matrix (int32 categorical codes are exact in float64). Row
+        layout keeps one record's features on one cache line, which is
+        what the per-level gathers touch. Only columns for features the
+        tree tests are filled."""
+        names = self.schema.names
+        n = len(next(iter(columns.values()))) if columns else 0
+        X = np.empty((n, len(names)), dtype=np.float64)
+        for f in self.used_features:
+            X[:, f] = np.asarray(columns[names[f]], dtype=np.float64)
+        return X
+
+    def predict_batch(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Vectorised batch prediction, bit-identical to the reference
+        ``DecisionTree.predict``."""
+        return self.predict_matrix(self.feature_matrix(columns))
+
+    def predict_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Levelwise evaluation over a prebuilt record-major matrix.
+
+        ``cur`` holds each record's node row; every pass gathers the
+        active rows' split tables (``np.take``), resolves the routing
+        predicate, and advances the cursors. Breadth-first layout makes
+        siblings adjacent (``right == left + 1``), so advancing is one
+        gather plus the predicate — no second child table, no select.
+        Records that reach a leaf drop out of the active set, so the
+        work per pass shrinks with the frontier.
+        """
+        n = X.shape[0] if X.ndim == 2 else 0
+        cur = np.zeros(n, dtype=np.int64)
+        if self.feature[0] == LEAF:
+            active = np.empty(0, dtype=np.int64)
+        else:
+            active = np.arange(n, dtype=np.int64)
+        n_codes = self.catmask.shape[1] * 64
+        has_cat = self.has_categorical
+        while active.size:
+            c = cur[active]
+            vals = X[active, np.take(self.feature, c)]
+            # NaN thresholds on categorical rows compare false, so this
+            # single compare is already correct for every numeric row
+            # and a placeholder (right) for categorical rows
+            go_left = vals <= np.take(self.threshold, c)
+            if has_cat:
+                ci = np.flatnonzero(np.take(self.is_cat, c))
+                if ci.size:
+                    v = vals[ci]
+                    member = np.zeros(v.size, dtype=bool)
+                    # integer-valued, in-range codes are the only
+                    # candidates; everything else (NaN, fractions, out
+                    # of range) is a member of nothing and routes right,
+                    # matching np.isin against the code array
+                    finite = np.isfinite(v)
+                    iv = np.zeros(v.size, dtype=np.int64)
+                    iv[finite] = v[finite].astype(np.int64)
+                    ok = finite & (iv.astype(np.float64) == v)
+                    ok &= (iv >= 0) & (iv < n_codes)
+                    if ok.any():
+                        rows = c[ci][ok]
+                        codes = iv[ok]
+                        words = self.catmask[rows, codes >> 6]
+                        member[ok] = (
+                            words >> (codes & 63).astype(np.uint64)
+                        ) & 1 == 1
+                    go_left[ci] = member
+
+            nxt = np.take(self.left, c) + ~go_left
+            cur[active] = nxt
+            active = active[np.take(self.feature, nxt) != LEAF]
+        return np.take(self.label, cur).astype(LABEL_DTYPE, copy=False)
+
+
+def compile_tree(tree: "DecisionTree") -> CompiledTree:
+    """Flatten ``tree`` breadth-first into a :class:`CompiledTree`."""
+    schema = tree.schema
+    feat_index = {name: i for i, name in enumerate(schema.names)}
+    max_card = max((a.cardinality for a in schema.categorical), default=0)
+
+    # breadth-first numbering via an explicit queue (no recursion)
+    order = []
+    queue = [tree.root]
+    head = 0
+    while head < len(queue):
+        node = queue[head]
+        head += 1
+        order.append(node)
+        if not node.is_leaf:
+            queue.append(node.left)
+            queue.append(node.right)
+    index = {id(node): i for i, node in enumerate(order)}
+    n = len(order)
+
+    # left-code sets can only contain codes seen in training data, but
+    # size the bitset to the schema cardinality so membership lookups
+    # never need a per-node width
+    n_words = max(1, (max_card + 63) // 64)
+    feature = np.full(n, LEAF, dtype=np.int32)
+    threshold = np.full(n, np.nan, dtype=np.float64)
+    left = np.full(n, LEAF, dtype=np.int32)
+    right = np.full(n, LEAF, dtype=np.int32)
+    label = np.empty(n, dtype=LABEL_DTYPE)
+    is_cat = np.zeros(n, dtype=bool)
+    catmask = np.zeros((n, n_words), dtype=np.uint64)
+    node_id = np.empty(n, dtype=np.int32)
+    max_depth = 0
+
+    for i, node in enumerate(order):
+        label[i] = node.label
+        node_id[i] = node.node_id
+        if node.depth > max_depth:
+            max_depth = node.depth
+        if node.is_leaf:
+            continue
+        s = node.split
+        feature[i] = feat_index[s.attribute]
+        left[i] = index[id(node.left)]
+        right[i] = index[id(node.right)]
+        if s.kind == NUMERIC_SPLIT:
+            threshold[i] = s.threshold
+        else:
+            is_cat[i] = True
+            for code in s.left_codes:
+                if not 0 <= code < n_words * 64:
+                    raise ValueError(
+                        f"categorical code {code} at node {node.node_id} "
+                        f"outside the schema cardinality bitset"
+                    )
+                catmask[i, code >> 6] |= np.uint64(1) << np.uint64(code & 63)
+
+    # predict_matrix advances cursors as ``left + ~go_left``: the
+    # breadth-first queue appends left then right, so siblings are
+    # always adjacent — keep this invariant machine-checked
+    internal = feature != LEAF
+    if not np.array_equal(right[internal], left[internal] + 1):
+        raise AssertionError("BFS layout broke sibling adjacency")
+
+    return CompiledTree(
+        schema=schema,
+        feature=feature,
+        threshold=threshold,
+        left=left,
+        right=right,
+        label=label,
+        is_cat=is_cat,
+        catmask=catmask,
+        node_id=node_id,
+        depth=max_depth,
+    )

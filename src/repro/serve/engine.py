@@ -1,0 +1,167 @@
+"""Batch serving engine: a compiled tree plus live ``repro_serve_*``
+metrics.
+
+:class:`ServeEngine` is the process-local read path. Each call to
+:meth:`ServeEngine.predict_batch` evaluates one request batch through the
+:class:`~repro.serve.compiler.CompiledTree` and records — into the same
+:class:`~repro.obs.MetricsRegistry` machinery the training side uses —
+the ``repro_serve_*`` metric family: request/record counters, a
+fine-grained latency histogram, batch-size distribution, and gauges for
+the exact p50/p99 and records/sec published by :meth:`finalize`.
+
+Unlike the training-side metrics (functions of the *simulated* clock),
+serving is a real read path: latencies are **host** seconds from an
+injectable monotonic clock, which tests replace with a fake to keep every
+recorded number deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+from .compiler import CompiledTree
+
+__all__ = ["ServeEngine", "register_serve_metrics", "SERVE_LATENCY_BUCKETS"]
+
+#: host-seconds buckets for request latency (log-spaced, sub-ms floor —
+#: a batched gather over a cached model sits in the 1e-5..1e-2 range)
+SERVE_LATENCY_BUCKETS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0, math.inf
+)
+
+#: records-per-batch buckets (powers of four from a single record up)
+SERVE_BATCH_BUCKETS = (
+    1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, math.inf
+)
+
+
+def register_serve_metrics(registry: MetricsRegistry) -> None:
+    """Declare the ``repro_serve_*`` family (idempotent)."""
+    registry.register(
+        Counter(
+            "repro_serve_requests_total",
+            "Prediction request batches served",
+            ("rank",),
+        ),
+        Counter(
+            "repro_serve_records_total",
+            "Records predicted",
+            ("rank",),
+        ),
+        Counter(
+            "repro_serve_deadline_misses_total",
+            "Paced batches that started after their deadline",
+            ("rank",),
+        ),
+        Histogram(
+            "repro_serve_latency_seconds",
+            "Host-clock latency of one predict_batch call",
+            ("rank",),
+            buckets=SERVE_LATENCY_BUCKETS,
+        ),
+        Histogram(
+            "repro_serve_batch_records",
+            "Records per request batch",
+            ("rank",),
+            buckets=SERVE_BATCH_BUCKETS,
+        ),
+        Gauge(
+            "repro_serve_latency_p50_seconds",
+            "Exact median batch latency (set at finalize)",
+            ("rank",),
+        ),
+        Gauge(
+            "repro_serve_latency_p99_seconds",
+            "Exact 99th-percentile batch latency (set at finalize)",
+            ("rank",),
+        ),
+        Gauge(
+            "repro_serve_records_per_sec",
+            "Replay throughput (set at finalize)",
+            ("rank",),
+        ),
+        Gauge(
+            "repro_serve_model_nodes",
+            "Compiled model size in nodes",
+            ("rank",),
+        ),
+        Gauge(
+            "repro_serve_model_bytes",
+            "Compiled model table bytes",
+            ("rank",),
+        ),
+    )
+
+
+class ServeEngine:
+    """One serving replica: compiled model + metrics shard.
+
+    ``rank`` namespaces the metric labels so several replicas can share
+    one registry (the multi-job story of ROADMAP item 5); ``clock`` is
+    any monotonic ``() -> float`` — ``time.perf_counter`` in production,
+    a fake in tests.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledTree,
+        registry: MetricsRegistry | None = None,
+        rank: int = 0,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.compiled = compiled
+        self.registry = registry or MetricsRegistry()
+        register_serve_metrics(self.registry)
+        self.rank = rank
+        self.clock = clock
+        self._labels = (str(rank),)
+        self._shard = self.registry.shard(rank)
+        self.latencies: list[float] = []  # host seconds per batch
+        self.n_records = 0
+        self.n_requests = 0
+        self._shard.set("repro_serve_model_nodes", self._labels, compiled.n_nodes)
+        self._shard.set("repro_serve_model_bytes", self._labels, compiled.nbytes)
+
+    # -- serving -------------------------------------------------------------
+    def predict_batch(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Serve one batch, recording latency and volume."""
+        t0 = self.clock()
+        out = self.compiled.predict_batch(columns)
+        dt = self.clock() - t0
+        n = len(out)
+        self.latencies.append(dt)
+        self.n_records += n
+        self.n_requests += 1
+        shard, labels = self._shard, self._labels
+        shard.inc("repro_serve_requests_total", labels)
+        shard.inc("repro_serve_records_total", labels, n)
+        shard.observe("repro_serve_latency_seconds", labels, dt)
+        shard.observe("repro_serve_batch_records", labels, n)
+        return out
+
+    def record_deadline_miss(self) -> None:
+        self._shard.inc("repro_serve_deadline_misses_total", self._labels)
+
+    # -- roll-ups ------------------------------------------------------------
+    def percentile(self, q: float) -> float:
+        """Exact latency percentile in seconds (0.0 before any traffic)."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def finalize(self, elapsed: float) -> None:
+        """Publish the exact percentile and throughput gauges after a
+        replay (``elapsed`` is the driver's wall time in host seconds)."""
+        shard, labels = self._shard, self._labels
+        shard.set("repro_serve_latency_p50_seconds", labels, self.percentile(50))
+        shard.set("repro_serve_latency_p99_seconds", labels, self.percentile(99))
+        if elapsed > 0:
+            shard.set(
+                "repro_serve_records_per_sec", labels, self.n_records / elapsed
+            )

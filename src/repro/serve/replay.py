@@ -1,0 +1,229 @@
+"""Replay driver: push Quest record batches through a serving engine at
+a target QPS and report latency/throughput.
+
+The driver is the load generator behind ``repro serve`` and
+``benchmarks/bench_serve.py``: it materialises a Quest request stream,
+slices it into batches, paces batch starts against an absolute deadline
+schedule (``start + i * batch_size / target_qps``; unthrottled when the
+target is 0), and measures per-batch latency through the engine's
+``repro_serve_*`` metrics. The report carries *exact* p50/p99 (computed
+from the full latency vector, not histogram buckets) plus
+:class:`~repro.obs.HealthAlert` serve-latency/throughput indicators
+evaluated against :class:`~repro.obs.HealthThresholds`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data import generate_quest
+from repro.obs.health import OUTSIDE_LEVEL, HealthAlert, HealthThresholds
+
+from .engine import ServeEngine
+
+__all__ = ["ReplayConfig", "ReplayReport", "replay", "request_batches"]
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """One replay workload."""
+
+    n_records: int = 1_000_000
+    batch_size: int = 4096
+    target_qps: float = 0.0  # records/sec; 0 = unthrottled
+    function: int = 2
+    seed: int = 0
+    noise: float = 0.0
+    #: batches served before measurement starts (page in the tables,
+    #: warm the allocator) — excluded from every reported number
+    warmup_batches: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_records <= 0:
+            raise ValueError("need at least one record")
+        if self.batch_size <= 0:
+            raise ValueError("batch size must be positive")
+
+
+@dataclass
+class ReplayReport:
+    """What a replay measured (all latencies in host milliseconds)."""
+
+    n_records: int
+    n_batches: int
+    batch_size: int
+    elapsed: float  # host seconds, measurement window only
+    records_per_sec: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    target_qps: float
+    deadline_misses: int
+    alerts: list[HealthAlert] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.alerts
+
+    def to_dict(self) -> dict:
+        return {
+            "n_records": self.n_records,
+            "n_batches": self.n_batches,
+            "batch_size": self.batch_size,
+            "elapsed_seconds": self.elapsed,
+            "records_per_sec": self.records_per_sec,
+            "latency_ms": {
+                "p50": self.p50_ms,
+                "p99": self.p99_ms,
+                "mean": self.mean_ms,
+                "max": self.max_ms,
+            },
+            "target_qps": self.target_qps,
+            "deadline_misses": self.deadline_misses,
+            "healthy": self.healthy,
+            "alerts": [
+                {
+                    "indicator": a.indicator,
+                    "value": a.value,
+                    "threshold": a.threshold,
+                    "message": a.message,
+                }
+                for a in self.alerts
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"served {self.n_records:,} records in {self.n_batches:,} "
+            f"batches of {self.batch_size:,}",
+            f"throughput {self.records_per_sec:,.0f} records/sec"
+            + (
+                f" (target {self.target_qps:,.0f}, "
+                f"{self.deadline_misses} deadline misses)"
+                if self.target_qps
+                else " (unthrottled)"
+            ),
+            f"batch latency p50 {self.p50_ms:.3f} ms, p99 {self.p99_ms:.3f} ms, "
+            f"mean {self.mean_ms:.3f} ms, max {self.max_ms:.3f} ms",
+        ]
+        for a in self.alerts:
+            lines.append(f"ALERT [{a.indicator}] {a.message}")
+        if not self.alerts:
+            lines.append("healthy: all serve indicators within thresholds")
+        return "\n".join(lines)
+
+
+def request_batches(
+    config: ReplayConfig,
+) -> tuple[list[dict[str, np.ndarray]], np.ndarray]:
+    """The replay's request stream: Quest records sliced into
+    ``batch_size`` views (no copies) plus the ground-truth labels."""
+    columns, labels = generate_quest(
+        config.n_records,
+        function=config.function,
+        seed=config.seed,
+        noise=config.noise,
+    )
+    batches = [
+        {k: v[i : i + config.batch_size] for k, v in columns.items()}
+        for i in range(0, config.n_records, config.batch_size)
+    ]
+    return batches, labels
+
+
+def _serve_alerts(
+    report: ReplayReport, thresholds: HealthThresholds
+) -> list[HealthAlert]:
+    """Serving-path health indicators (same alert structure the training
+    HealthMonitor emits, level pinned to the outside-loop sentinel)."""
+    alerts: list[HealthAlert] = []
+    p99_s = report.p99_ms / 1e3
+    if p99_s > thresholds.serve_p99_seconds:
+        alerts.append(
+            HealthAlert(
+                "serve_latency", OUTSIDE_LEVEL, None, p99_s,
+                thresholds.serve_p99_seconds,
+                f"serve p99 batch latency {report.p99_ms:.3f} ms exceeds "
+                f"{thresholds.serve_p99_seconds * 1e3:.3f} ms",
+            )
+        )
+    if report.target_qps > 0:
+        ratio = report.records_per_sec / report.target_qps
+        if ratio < thresholds.serve_min_qps_ratio:
+            alerts.append(
+                HealthAlert(
+                    "serve_throughput", OUTSIDE_LEVEL, None, ratio,
+                    thresholds.serve_min_qps_ratio,
+                    f"achieved {report.records_per_sec:,.0f} records/sec is "
+                    f"{ratio:.1%} of the {report.target_qps:,.0f} target "
+                    f"(floor {thresholds.serve_min_qps_ratio:.0%})",
+                )
+            )
+    return alerts
+
+
+def replay(
+    engine: ServeEngine,
+    config: ReplayConfig,
+    thresholds: HealthThresholds | None = None,
+    clock: Callable[[], float] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> ReplayReport:
+    """Drive ``config``'s request stream through ``engine``.
+
+    Pacing uses absolute deadlines so a slow batch borrows from the
+    following gap instead of shifting the whole schedule (open-loop load
+    generation — the honest way to measure a target-QPS SLO). Returns
+    the measured report; the engine's gauges are finalized as a side
+    effect so Prometheus/JSON exports carry the same numbers.
+    """
+    clock = clock or engine.clock
+    thresholds = thresholds or HealthThresholds()
+    batches, _ = request_batches(config)
+
+    for batch in batches[: config.warmup_batches]:
+        engine.predict_batch(batch)
+    # warmup excluded from every roll-up
+    engine.latencies.clear()
+    engine.n_records = 0
+    engine.n_requests = 0
+
+    interval = (
+        config.batch_size / config.target_qps if config.target_qps > 0 else 0.0
+    )
+    deadline_misses = 0
+    start = clock()
+    for i, batch in enumerate(batches):
+        if interval:
+            deadline = start + i * interval
+            now = clock()
+            if now < deadline:
+                sleep(deadline - now)
+            elif i:  # the first batch starts exactly on schedule
+                deadline_misses += 1
+                engine.record_deadline_miss()
+        engine.predict_batch(batch)
+    elapsed = clock() - start
+
+    lat = np.asarray(engine.latencies)
+    report = ReplayReport(
+        n_records=engine.n_records,
+        n_batches=engine.n_requests,
+        batch_size=config.batch_size,
+        elapsed=elapsed,
+        records_per_sec=engine.n_records / elapsed if elapsed > 0 else 0.0,
+        p50_ms=float(np.percentile(lat, 50)) * 1e3 if lat.size else 0.0,
+        p99_ms=float(np.percentile(lat, 99)) * 1e3 if lat.size else 0.0,
+        mean_ms=float(lat.mean()) * 1e3 if lat.size else 0.0,
+        max_ms=float(lat.max()) * 1e3 if lat.size else 0.0,
+        target_qps=config.target_qps,
+        deadline_misses=deadline_misses,
+    )
+    report.alerts = _serve_alerts(report, thresholds)
+    engine.finalize(elapsed)
+    return report

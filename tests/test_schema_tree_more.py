@@ -41,7 +41,7 @@ class TestTreeMetaAndWire:
         cols, labels = quest_small
         tree = fit_direct(schema, cols, labels, StoppingRule(min_node=256))
         wire = tree.to_dict()
-        assert set(wire) == {"root", "n_classes"}
+        assert set(wire) == {"root", "n_classes", "meta"}
         node = wire["root"]
         assert {"node_id", "depth", "class_counts"} <= set(node)
         if "split" in node:
