@@ -79,6 +79,8 @@ class ExperimentConfig:
     memory_ratio: float = PAPER_MEMORY_RATIO
     method: str = "sse"
     exchange: str = "attribute"
+    #: voting exchange: attributes each rank nominates per node
+    vote_top_k: int = 8
     frontier_batching: str = "level"
     #: per-rank chunk cache + overlapped prefetch for the out-of-core
     #: layer ("off" | "lru" | "lru+prefetch"); on by default — trees are
@@ -160,6 +162,7 @@ def run_pclouds(
             q_switch=cfg.q_switch,
             exchange=cfg.exchange,
             frontier_batching=cfg.frontier_batching,
+            vote_top_k=cfg.vote_top_k,
         )
     )
     return pc.fit(dataset, seed=cfg.seed + 2, trace=trace, metrics=metrics)

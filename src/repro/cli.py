@@ -38,6 +38,7 @@ from repro.clouds import (
     mdl_prune,
 )
 from repro.core import (
+    EXCHANGE_STRATEGIES,
     DistributedDataset,
     PClouds,
     PCloudsConfig,
@@ -103,6 +104,8 @@ def cmd_train(args: argparse.Namespace) -> int:
                 **stopping,
             ),
             q_switch="auto" if args.q_switch == "auto" else int(args.q_switch),
+            exchange=args.exchange,
+            vote_top_k=args.vote_top_k,
         )
         result = PClouds(config).fit(dataset, seed=args.seed + 2)
         tree = result.tree
@@ -269,6 +272,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     cfg = ExperimentConfig(
         n_records=args.records, n_ranks=args.ranks, scale=args.scale,
         seed=args.seed, buffer_pool=args.buffer_pool,
+        exchange=args.exchange, vote_top_k=args.vote_top_k,
     )
     res = run_pclouds(cfg, trace=True)
     assert_schedules_match(res.tracers)
@@ -391,6 +395,7 @@ def cmd_health(args: argparse.Namespace) -> int:
         n_records=args.records, n_ranks=args.ranks, scale=args.scale,
         seed=args.seed, frontier_batching=args.frontier_batching,
         buffer_pool=args.buffer_pool,
+        exchange=args.exchange, vote_top_k=args.vote_top_k,
     )
     from repro.bench.harness import build_cluster
 
@@ -414,6 +419,7 @@ def cmd_health(args: argparse.Namespace) -> int:
             q_switch=cfg.q_switch,
             exchange=cfg.exchange,
             frontier_batching=cfg.frontier_batching,
+            vote_top_k=cfg.vote_top_k,
         )
     )
     pc_result = pc.fit(
@@ -473,6 +479,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--buffer-pool", default="lru+prefetch",
         choices=list(Cluster.BUFFER_POOL_MODES),
         help="out-of-core chunk cache mode",
+    )
+    t.add_argument(
+        "--exchange", default="attribute", choices=list(EXCHANGE_STRATEGIES),
+        help="pclouds: statistics-exchange strategy",
+    )
+    t.add_argument(
+        "--vote-top-k", type=int, default=8,
+        help="voting exchange: attributes each rank nominates",
     )
     t.add_argument("--scale", type=float, default=100.0, help="cost-model scale")
     t.add_argument("--prune", action="store_true", help="MDL-prune after fitting")
@@ -535,6 +549,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(Cluster.BUFFER_POOL_MODES),
         help="out-of-core chunk cache mode",
     )
+    tr.add_argument(
+        "--exchange", default="attribute", choices=list(EXCHANGE_STRATEGIES),
+        help="statistics-exchange strategy",
+    )
+    tr.add_argument(
+        "--vote-top-k", type=int, default=8,
+        help="voting exchange: attributes each rank nominates",
+    )
     tr.add_argument("--out", help="write Chrome-trace/Perfetto JSON here")
     tr.set_defaults(func=cmd_trace)
 
@@ -571,6 +593,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--buffer-pool", default="lru+prefetch",
         choices=list(Cluster.BUFFER_POOL_MODES),
         help="out-of-core chunk cache mode",
+    )
+    h.add_argument(
+        "--exchange", default="attribute", choices=list(EXCHANGE_STRATEGIES),
+        help="statistics-exchange strategy",
+    )
+    h.add_argument(
+        "--vote-top-k", type=int, default=8,
+        help="voting exchange: attributes each rank nominates",
     )
     h.add_argument(
         "--imbalance", type=float, default=2.0,

@@ -272,6 +272,23 @@ class Comm:
         )
         return data
 
+    def vote(self, ballot: Any) -> list[Any]:
+        """All-to-all broadcast of per-rank *ballots* — the vote-election
+        collective of the top-k voting exchange. Wire semantics and
+        Table-1 cost are exactly those of :meth:`allgather` (every rank
+        returns the list of all ballots, indexed by rank), but the call
+        carries its own op name so election traffic is attributable in
+        traces, metrics, fault plans and the health monitor's drift
+        accounting, separately from the bulk stats collectives."""
+        data = self._exchange("vote", ballot)
+        m = max(payload_nbytes(x) for x in data)
+        self._charge(self._world.network.all_to_all_broadcast(m, self.size))
+        self._count_bytes(
+            sent=payload_nbytes(ballot) * (self.size - 1),
+            received=sum(payload_nbytes(x) for x in data) - payload_nbytes(ballot),
+        )
+        return data
+
     def reduce(self, obj: Any, op: str | Callable = "sum", root: int = 0) -> Any:
         """Reduce to ``root`` (others return None)."""
         out = self._combine("reduce", obj, op)

@@ -62,6 +62,7 @@ _COLLECTIVES = frozenset(
         "scatter",
         "gather",
         "allgather",
+        "vote",
         "reduce",
         "allreduce",
         "allreduce_minloc",

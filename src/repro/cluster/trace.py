@@ -88,6 +88,10 @@ class Tracer:
     #: frontier level open right now (driver-maintained via the
     #: begin_level/end_level observer notifications); stamps every event.
     level: int | None = None
+    #: statistics-exchange strategy the traced run used (recorded from
+    #: the driver's ``on_stats_exchange`` notification), so roll-ups can
+    #: label stats traffic with the strategy that produced it.
+    exchange_strategy: str | None = None
     # bytes already attributed to recorded comm events; lets an outer
     # primitive (split) subtract what its nested calls already logged.
     attributed_sent: int = 0
@@ -160,6 +164,9 @@ class Tracer:
         # a crashed attempt may leave a level open; the restart closes it
         self.level = None
 
+    def on_stats_exchange(self, strategy: str, _n_nodes: int) -> None:
+        self.exchange_strategy = strategy
+
     # -- views ---------------------------------------------------------------
     def comm_events(self) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == "comm"]
@@ -229,6 +236,7 @@ class _TracingComm(Comm):
         "scatter",
         "gather",
         "allgather",
+        "vote",
         "reduce",
         "allreduce",
         "allreduce_minloc",

@@ -25,12 +25,16 @@ __all__ = [
     "OpRow",
     "RankTotals",
     "LevelRow",
+    "ExchangeRow",
     "TraceReport",
     "to_chrome_trace",
     "write_chrome_trace",
 ]
 
 _NO_PHASE = "(no phase)"
+
+#: PhaseTimer phase the drivers open around every statistics exchange.
+_STATS_PHASE = "stats"
 
 
 @dataclass(frozen=True)
@@ -49,6 +53,24 @@ class LevelRow:
     disk_time: float
     disk_read: int
     disk_written: int
+
+    @property
+    def name(self) -> str:
+        return "outside" if self.level is None else str(self.level)
+
+
+@dataclass(frozen=True)
+class ExchangeRow:
+    """Statistics-exchange traffic for one frontier level: every comm
+    event recorded inside the driver's ``stats`` phase, which is exactly
+    the collectives the exchange strategy issued (ballots, partitioned
+    alltoalls, combines, split elections)."""
+
+    level: int | None
+    count: int
+    time: float
+    sent: int
+    received: int
 
     @property
     def name(self) -> str:
@@ -219,6 +241,51 @@ class TraceReport:
             for lv in ordered
         ]
 
+    @property
+    def exchange_strategy(self) -> str | None:
+        """The stats-exchange strategy the traced run used (recorded via
+        the driver's ``on_stats_exchange`` notification; None when the
+        run predates the hook or never exchanged statistics)."""
+        for t in self.tracers:
+            if t.exchange_strategy is not None:
+                return t.exchange_strategy
+        return None
+
+    def exchange_rollup(self) -> list[ExchangeRow]:
+        """Stats-exchange collective traffic grouped by frontier level:
+        per level the number of collectives issued inside the driver's
+        ``stats`` phase and the exact bytes they moved (from
+        the tracer's :class:`RankStats` snapshots, summed over ranks).
+        This is the payload-accounting view behind the voting strategy's
+        O(attributes) → O(k) claim — compare the same run under
+        ``exchange="attribute"`` and ``exchange="voting"``."""
+        acc: dict[int | None, list] = {}
+        for t in self.tracers:
+            for e in t.events:
+                if e.kind != "comm" or e.phase != _STATS_PHASE:
+                    continue
+                cell = acc.setdefault(e.level, [0, 0.0, 0, 0])
+                cell[0] += 1
+                cell[1] += e.duration
+                cell[2] += e.sent
+                cell[3] += e.received
+        ordered = sorted(acc, key=lambda lv: (lv is None, lv if lv is not None else 0))
+        return [
+            ExchangeRow(
+                level=lv,
+                count=acc[lv][0],
+                time=acc[lv][1],
+                sent=acc[lv][2],
+                received=acc[lv][3],
+            )
+            for lv in ordered
+        ]
+
+    def exchange_bytes(self) -> int:
+        """Total bytes sent by stats-exchange collectives over all ranks
+        and levels — the single number the voting strategy shrinks."""
+        return sum(row.sent for row in self.exchange_rollup())
+
     def rank_skew(self) -> float:
         """Spread of the ranks' final event times: (max - min) / max.
         0.0 means all ranks finished together (no trailing idle)."""
@@ -278,6 +345,26 @@ class TraceReport:
                     f"{row.disk_count:>7} {row.disk_time:>10.3f} "
                     f"{row.disk_read:>14,} {row.disk_written:>14,}"
                 )
+        exchange = self.exchange_rollup()
+        if exchange:
+            strategy = self.exchange_strategy or "unknown"
+            lines.append("")
+            lines.append(
+                f"== stats-exchange payload by level (strategy: {strategy}) =="
+            )
+            lines.append(
+                f"{'level':<8} {'coll n':>7} {'time(s)':>10} {'sent':>14} "
+                f"{'received':>14}"
+            )
+            for row in exchange:
+                lines.append(
+                    f"{row.name:<8} {row.count:>7} {row.time:>10.3f} "
+                    f"{row.sent:>14,} {row.received:>14,}"
+                )
+            lines.append(
+                f"total stats-exchange: {sum(r.count for r in exchange)} "
+                f"collectives, {sum(r.sent for r in exchange):,} B sent"
+            )
         skew = self.phase_skew()
         if skew:
             lines.append("")

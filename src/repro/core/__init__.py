@@ -4,7 +4,7 @@ tree classifier built with mixed parallelism."""
 from .access import InCoreAccess, NodeAccess, StreamingAccess, open_node
 from .alive import assign_by_cost, evaluate_alive_parallel
 from .checkpoint import CheckpointStore
-from .config import PCloudsConfig
+from .config import EXCHANGE_STRATEGIES, PCloudsConfig
 from .dataset import DistributedDataset
 from .evaluate import ParallelEvaluation, parallel_evaluate
 from .pclouds import PClouds, PCloudsResult
@@ -14,6 +14,7 @@ from .switching import auto_q_switch, break_even_node_size
 
 __all__ = [
     "CheckpointStore",
+    "EXCHANGE_STRATEGIES",
     "DistributedDataset",
     "InCoreAccess",
     "NodeAccess",

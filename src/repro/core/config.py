@@ -6,6 +6,12 @@ from dataclasses import dataclass, field
 
 from repro.clouds.builder import CloudsConfig
 
+#: the statistics-exchange strategies :mod:`repro.core.stats_exchange`
+#: implements, in documentation order. The first three are *exact* (they
+#: produce the identical classifier); ``"voting"`` is the PV-Tree-style
+#: approximation that only exchanges the elected top attributes.
+EXCHANGE_STRATEGIES = ("attribute", "distributed", "allreduce", "voting")
+
 
 @dataclass(frozen=True)
 class PCloudsConfig:
@@ -30,8 +36,20 @@ class PCloudsConfig:
     distributed method (interval-granular RAW ownership plus a parallel
     prefix sum, which the paper discussed but did not implement);
     ``"allreduce"`` is the naive variant that replicates *all* global
-    vectors on every processor. All three produce the identical
+    vectors on every processor. Those three produce the identical
     classifier; the ablation benchmark measures their costs.
+    ``"voting"`` is the PV-Tree-style top-k voting strategy (Meng & Ke
+    et al. 2016): each rank nominates its ``vote_top_k`` locally best
+    attributes, a global vote elects at most ``2·vote_top_k``
+    candidates, and only the elected attributes' statistics are
+    exchanged — shrinking the per-level stats payload from
+    O(attributes) to O(k). Voting is an **approximation**: the elected
+    set can miss the true global-best attribute, so it is opt-in; with
+    ``vote_top_k >= n_attributes`` every attribute is elected and the
+    tree is bit-identical to ``"attribute"``.
+
+    ``vote_top_k`` — nominations per rank for ``exchange="voting"``
+    (ignored by the exact strategies).
 
     ``frontier_batching`` — how the breadth-first large-node frontier is
     driven. ``"level"`` (the default) fuses the per-node collectives of
@@ -49,6 +67,7 @@ class PCloudsConfig:
     q_switch: int | str = 10
     exchange: str = "attribute"
     frontier_batching: str = "level"
+    vote_top_k: int = 8
 
     def __post_init__(self) -> None:
         if isinstance(self.q_switch, str):
@@ -58,10 +77,14 @@ class PCloudsConfig:
                 )
         elif self.q_switch < 1:
             raise ValueError("q_switch must be at least 1")
-        if self.exchange not in ("attribute", "distributed", "allreduce"):
+        if self.exchange not in EXCHANGE_STRATEGIES:
+            options = ", ".join(repr(s) for s in EXCHANGE_STRATEGIES)
             raise ValueError(
-                "exchange must be 'attribute', 'distributed' or "
-                f"'allreduce', got {self.exchange!r}"
+                f"exchange must be one of {options}, got {self.exchange!r}"
+            )
+        if self.vote_top_k < 1:
+            raise ValueError(
+                f"vote_top_k must be at least 1, got {self.vote_top_k!r}"
             )
         if self.frontier_batching not in ("level", "per_node"):
             raise ValueError(

@@ -24,18 +24,35 @@ no longer local — they are recovered with one parallel prefix sum
 (Table 1's primitive) over the per-rank partial sums. The paper chose
 replication for its simplicity and lower communication; this
 implementation makes that trade-off measurable.
+
+The **top-k voting method** (``exchange="voting"``) is the PV-Tree
+communication shrink (Meng & Ke et al. 2016) layered on the
+attribute-based machinery: every processor sweeps its *own* local
+statistics, nominates its top-k attributes by local best gini in one
+small ballot collective (:meth:`~repro.cluster.comm.Comm.vote`), and a
+deterministic merge election — replicated on every rank from the
+identical gathered ballots — picks at most 2k global candidates. Only
+the elected attributes' statistics then travel through the
+attribute-owner alltoall, cutting the dominant O(q·c·f) payload of the
+exact strategies to O(q·c·k). Voting is an **approximation**: a
+globally best attribute that no rank nominated cannot win. With
+``vote_top_k >= n_attributes`` every attribute is elected and the
+result is bit-identical to ``exchange="attribute"``.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
+from repro.cluster.comm import payload_nbytes
 from repro.cluster.machine import RankContext
 from repro.clouds.gini import best_categorical_split, boundary_sweep
 from repro.clouds.nodestats import NodeStats, NumericStats
 from repro.clouds.splits import CATEGORICAL_SPLIT, NUMERIC_SPLIT, Split
 from repro.clouds.sse import AliveInterval, determine_alive_intervals
-from repro.data.schema import Schema
+from repro.data.schema import Attribute, Schema
 
 from .config import PCloudsConfig
 
@@ -47,33 +64,26 @@ def attribute_owner(attr_index: int, n_ranks: int) -> int:
     return attr_index % n_ranks
 
 
-def _owned_attributes(schema: Schema, rank: int, size: int) -> list[str]:
+def _owned_attributes(attrs: Sequence[Attribute], rank: int, size: int) -> list[str]:
+    """Names this rank owns among ``attrs`` — ownership is positional
+    within the list, so a restricted candidate list (the voting path)
+    round-robins its members over the ranks the same way the full
+    schema does."""
     return [
-        a.name
-        for i, a in enumerate(schema.attributes)
-        if attribute_owner(i, size) == rank
+        a.name for i, a in enumerate(attrs) if attribute_owner(i, size) == rank
     ]
 
 
 def _best_boundary_split_of(
     name: str, boundaries: np.ndarray, hist: np.ndarray, total: np.ndarray
 ) -> Split | None:
-    """Owner-side boundary sweep of one numeric attribute."""
+    """Owner-side boundary sweep of one numeric attribute's full
+    histogram — the whole-attribute form of the shared block sweep
+    (``lo = 0``, cumulative counts from the histogram itself)."""
     if boundaries.size == 0:
         return None
-    cum = np.cumsum(hist, axis=0)[:-1]
-    sizes = cum.sum(axis=1)
-    n = float(total.sum())
-    valid = (sizes > 0) & (sizes < n)
-    if not valid.any():
-        return None
-    ginis = np.where(valid, boundary_sweep(cum, total), np.inf)
-    k = int(np.argmin(ginis))
-    return Split(
-        attribute=name,
-        kind=NUMERIC_SPLIT,
-        gini=float(ginis[k]),
-        threshold=float(boundaries[k]),
+    return _best_block_boundary_split(
+        name, boundaries, 0, np.cumsum(hist, axis=0)[:-1], total
     )
 
 
@@ -84,11 +94,15 @@ def _best_block_boundary_split(
     cum: np.ndarray,
     total_counts: np.ndarray,
 ) -> Split | None:
-    """Boundary sweep over one *owned block* of cumulative counts, where
-    interval row ``i`` closes boundary ``lo + i``. Ties resolve to the
-    smallest row index, i.e. the smallest threshold — exactly what a
-    sequential scan with the split order-key tiebreak picks, since the
-    boundaries are sorted ascending."""
+    """The shared owner-side boundary sweep: gini over one block of
+    cumulative counts, where interval row ``i`` closes boundary
+    ``lo + i``. All three sweep call sites — whole-attribute owners
+    (via :func:`_best_boundary_split_of`), the distributed method's
+    interval blocks, and the voting path's local nomination scorer —
+    reduce to this form. Ties resolve to the smallest row index, i.e.
+    the smallest threshold — exactly what a sequential scan with the
+    split order-key tiebreak picks, since the boundaries are sorted
+    ascending."""
     if cum.shape[0] == 0:
         return None
     total = np.asarray(total_counts, dtype=np.float64)
@@ -126,6 +140,8 @@ def exchange_node_stats(
         return _exchange_attribute_based(ctx, schema, local, total_counts, config)
     if config.exchange == "distributed":
         return _exchange_distributed(ctx, schema, local, total_counts, config)
+    if config.exchange == "voting":
+        return _exchange_voting(ctx, schema, local, total_counts, config)
     return _exchange_allreduce(ctx, schema, local, total_counts, config)
 
 
@@ -138,25 +154,36 @@ def _exchange_attribute_based(
     local: NodeStats,
     total_counts: np.ndarray,
     config: PCloudsConfig,
+    attrs: Sequence[Attribute] | None = None,
 ) -> tuple[Split | None, list[AliveInterval]]:
+    """``attrs`` restricts the exchange to a candidate subset (the voting
+    path passes its elected attributes, in schema order); ``None`` means
+    the full schema, which is the exact attribute-based method."""
     comm = ctx.comm
     size, rank = comm.size, comm.rank
     c = schema.n_classes
+    attrs = list(schema.attributes) if attrs is None else list(attrs)
 
     # ship each attribute's local vectors to its owner (numeric attributes
     # carry their per-interval value ranges alongside the histograms)
     parts: list[dict[str, object]] = [dict() for _ in range(size)]
-    for i, a in enumerate(schema.attributes):
+    for i, a in enumerate(attrs):
         dest = attribute_owner(i, size)
         if a.is_numeric:
             ns = local.numeric[a.name]
             parts[dest][a.name] = (ns.hist, ns.vmin, ns.vmax)
         else:
             parts[dest][a.name] = local.categorical[a.name]
+    if ctx.observers:
+        ctx.notify(
+            "on_exchange_payload",
+            config.exchange,
+            sum(payload_nbytes(parts[d]) for d in range(size) if d != rank),
+        )
     incoming = comm.alltoall(parts)
 
     # owner: combine, sweep, keep the best candidate per owned attribute
-    owned = _owned_attributes(schema, rank, size)
+    owned = _owned_attributes(attrs, rank, size)
     global_num: dict[str, NumericStats] = {}
     best_local: Split | None = None
     for name in owned:
@@ -229,6 +256,102 @@ def _exchange_attribute_based(
     return split, alive
 
 
+# -- top-k voting method (PV-Tree-style approximation) --------------------
+
+
+def _nominate(
+    ctx: RankContext,
+    schema: Schema,
+    local: NodeStats,
+    config: PCloudsConfig,
+) -> np.ndarray:
+    """Rank-local scoring pass: sweep this rank's *own* statistics of
+    every attribute and build its ballot — a ``(k, 2)`` float64 array of
+    ``[attribute index, local best gini]`` rows, the k smallest local
+    ginis first (ties by attribute index). Attributes with no valid
+    local split score ``inf`` but may still pad the ballot, so every
+    rank's ballot has the same deterministic wire size."""
+    scores: list[tuple[float, int]] = []
+    for i, a in enumerate(schema.attributes):
+        if a.is_numeric:
+            ns = local.numeric[a.name]
+            cand = _best_block_boundary_split(
+                a.name,
+                ns.boundaries,
+                0,
+                np.cumsum(ns.hist, axis=0)[:-1],
+                ns.hist.sum(axis=0),
+            )
+            ctx.charge_compute(ops=3 * ns.hist.size)
+            gini = float("inf") if cand is None else cand.gini
+        else:
+            matrix = local.categorical[a.name]
+            res = best_categorical_split(matrix, config.clouds.enumerate_limit)
+            ctx.charge_compute(ops=matrix.size * a.cardinality)
+            gini = float("inf") if res is None else float(res[0])
+        scores.append((gini, i))
+    scores.sort()
+    k = min(config.vote_top_k, len(scores))
+    return np.array(
+        [[float(i), g] for g, i in scores[:k]], dtype=np.float64
+    ).reshape(k, 2)
+
+
+def _elect_candidates(
+    ballots: Sequence[np.ndarray], n_attrs: int, top_k: int
+) -> list[int]:
+    """Deterministic merge election over the gathered ballots (the
+    PV-Tree majority vote): candidates rank by (vote count descending,
+    best nominated gini ascending, attribute index ascending) and the
+    top ``min(2k, f)`` win. Every rank elects from the identical
+    gathered ballots, so the winner set is replicated by construction —
+    no further collective is needed. Returns winning attribute indices
+    in schema order."""
+    votes: dict[int, int] = {}
+    best: dict[int, float] = {}
+    for ballot in ballots:
+        for row in ballot:
+            a = int(row[0])
+            g = float(row[1])
+            votes[a] = votes.get(a, 0) + 1
+            if g < best.get(a, float("inf")):
+                best[a] = g
+    n_win = min(2 * top_k, n_attrs)
+    ranked = sorted(
+        votes, key=lambda a: (-votes[a], best.get(a, float("inf")), a)
+    )
+    return sorted(ranked[:n_win])
+
+
+def _exchange_voting(
+    ctx: RankContext,
+    schema: Schema,
+    local: NodeStats,
+    total_counts: np.ndarray,
+    config: PCloudsConfig,
+) -> tuple[Split | None, list[AliveInterval]]:
+    """Nominate → vote → exchange only the elected candidates through
+    the attribute-owner machinery."""
+    comm = ctx.comm
+    ballot = _nominate(ctx, schema, local, config)
+    if ctx.observers:
+        ctx.notify(
+            "on_exchange_payload",
+            config.exchange,
+            payload_nbytes(ballot) * (comm.size - 1),
+        )
+    ballots = comm.vote(ballot)
+    elected = _elect_candidates(
+        ballots, len(schema.attributes), config.vote_top_k
+    )
+    attrs = [schema.attributes[i] for i in elected]
+    if ctx.observers:
+        ctx.notify("on_vote_election", (tuple(a.name for a in attrs),))
+    return _exchange_attribute_based(
+        ctx, schema, local, total_counts, config, attrs=attrs
+    )
+
+
 # -- distributed method (interval-granular RAW ownership) -----------------
 
 
@@ -267,6 +390,12 @@ def _exchange_distributed(
             parts[attribute_owner(ai, size)]["cat"][a.name] = (
                 local.categorical[a.name]
             )
+    if ctx.observers:
+        ctx.notify(
+            "on_exchange_payload",
+            config.exchange,
+            sum(payload_nbytes(parts[d]) for d in range(size) if d != rank),
+        )
     incoming = comm.alltoall(parts)
 
     # combine this rank's interval block per attribute
@@ -426,6 +555,8 @@ def _exchange_allreduce(
             payload[a.name] = (ns.hist, ns.vmin, ns.vmax)
         else:
             payload[a.name] = local.categorical[a.name]
+    if ctx.observers:
+        ctx.notify("on_exchange_payload", config.exchange, payload_nbytes(payload))
     combined = ctx.comm.allreduce(payload, op=_merge_stat_dicts)
     ctx.charge_compute(
         ops=sum(
@@ -492,6 +623,10 @@ def exchange_level_stats(
         return _exchange_distributed_level(
             ctx, schema, locals_list, counts_list, config
         )
+    if config.exchange == "voting":
+        return _exchange_voting_level(
+            ctx, schema, locals_list, counts_list, config
+        )
     return _exchange_allreduce_level(ctx, schema, locals_list, counts_list, config)
 
 
@@ -501,32 +636,43 @@ def _exchange_attribute_level(
     locals_list: list[NodeStats],
     counts_list: list[np.ndarray],
     config: PCloudsConfig,
+    attrs_list: list[Sequence[Attribute]] | None = None,
 ) -> list[tuple[Split | None, list[AliveInterval]]]:
+    """``attrs_list`` restricts each node's exchange to its own elected
+    candidate subset (the voting path); ``None`` exchanges the full
+    schema for every node — the exact attribute-based method."""
     comm = ctx.comm
     size, rank = comm.size, comm.rank
     c = schema.n_classes
     k = len(locals_list)
+    if attrs_list is None:
+        attrs_list = [list(schema.attributes)] * k
 
     # one alltoall ships every node's local vectors, keyed (node, attr)
     parts: list[dict[tuple[int, str], object]] = [dict() for _ in range(size)]
     for j, local in enumerate(locals_list):
-        for i, a in enumerate(schema.attributes):
+        for i, a in enumerate(attrs_list[j]):
             dest = attribute_owner(i, size)
             if a.is_numeric:
                 ns = local.numeric[a.name]
                 parts[dest][(j, a.name)] = (ns.hist, ns.vmin, ns.vmax)
             else:
                 parts[dest][(j, a.name)] = local.categorical[a.name]
+    if ctx.observers:
+        ctx.notify(
+            "on_exchange_payload",
+            config.exchange,
+            sum(payload_nbytes(parts[d]) for d in range(size) if d != rank),
+        )
     incoming = comm.alltoall(parts)
 
     # owner: combine and sweep per (node, owned attribute) — identical
     # arithmetic and tie behavior to the per-node exchange
-    owned = _owned_attributes(schema, rank, size)
     global_num: list[dict[str, NumericStats]] = [dict() for _ in range(k)]
     best_local: list[Split | None] = [None] * k
     for j in range(k):
         local = locals_list[j]
-        for name in owned:
+        for name in _owned_attributes(attrs_list[j], rank, size):
             attr = schema.attribute(name)
             if attr.is_numeric:
                 combined = incoming[0][(j, name)][0].copy()
@@ -610,6 +756,46 @@ def _exchange_attribute_level(
     return [(splits[j], alive_by_node[j]) for j in range(k)]
 
 
+def _exchange_voting_level(
+    ctx: RankContext,
+    schema: Schema,
+    locals_list: list[NodeStats],
+    counts_list: list[np.ndarray],
+    config: PCloudsConfig,
+) -> list[tuple[Split | None, list[AliveInterval]]]:
+    """Batched voting: all frontier nodes' ballots travel in **one**
+    vote collective, each node's candidates are elected independently,
+    and one restricted batched attribute exchange follows — the
+    collective count per level stays constant in the frontier width."""
+    comm = ctx.comm
+    my_ballots = [
+        _nominate(ctx, schema, local, config) for local in locals_list
+    ]
+    if ctx.observers:
+        ctx.notify(
+            "on_exchange_payload",
+            config.exchange,
+            payload_nbytes(my_ballots) * (comm.size - 1),
+        )
+    gathered = comm.vote(my_ballots)
+    attrs_list: list[Sequence[Attribute]] = []
+    names_list: list[tuple[str, ...]] = []
+    for j in range(len(locals_list)):
+        elected = _elect_candidates(
+            [rank_ballots[j] for rank_ballots in gathered],
+            len(schema.attributes),
+            config.vote_top_k,
+        )
+        attrs = [schema.attributes[i] for i in elected]
+        attrs_list.append(attrs)
+        names_list.append(tuple(a.name for a in attrs))
+    if ctx.observers:
+        ctx.notify("on_vote_election", tuple(names_list))
+    return _exchange_attribute_level(
+        ctx, schema, locals_list, counts_list, config, attrs_list=attrs_list
+    )
+
+
 def _exchange_distributed_level(
     ctx: RankContext,
     schema: Schema,
@@ -640,6 +826,12 @@ def _exchange_distributed_level(
                 parts[attribute_owner(ai, size)]["cat"][(j, a.name)] = (
                     local.categorical[a.name]
                 )
+    if ctx.observers:
+        ctx.notify(
+            "on_exchange_payload",
+            config.exchange,
+            sum(payload_nbytes(parts[d]) for d in range(size) if d != rank),
+        )
     incoming = comm.alltoall(parts)
 
     # combine this rank's interval block per (node, attribute)
@@ -797,6 +989,8 @@ def _exchange_allreduce_level(
                 payload[(j, a.name)] = (ns.hist, ns.vmin, ns.vmax)
             else:
                 payload[(j, a.name)] = local.categorical[a.name]
+    if ctx.observers:
+        ctx.notify("on_exchange_payload", config.exchange, payload_nbytes(payload))
     combined = ctx.comm.allreduce(payload, op=_merge_stat_dicts)
     ctx.charge_compute(
         ops=sum(

@@ -22,7 +22,13 @@ from repro.cluster.compute import ComputeModel
 from repro.cluster.diskmodel import DiskModel
 from repro.cluster.network import NetworkModel
 
-__all__ = ["DncCostModel", "TreeShape", "collective_cost"]
+__all__ = [
+    "DncCostModel",
+    "TreeShape",
+    "collective_cost",
+    "exchange_stats_bytes",
+    "exchange_cost",
+]
 
 
 #: ops priced by the reduction row of Table 1 (alpha·log p + beta·m)
@@ -59,7 +65,7 @@ def collective_cost(
         return network.broadcast(m, p)
     if op in ("gather", "scatter"):
         return network.gather(m, p)
-    if op == "allgather":
+    if op in ("allgather", "vote"):
         return network.all_to_all_broadcast(m, p)
     if op in _COMBINE_OPS:
         return network.global_combine(m, p)
@@ -68,6 +74,91 @@ def collective_cost(
     if op == "alltoall":
         return network.alltoallv(out_bytes, in_bytes, p)
     raise ValueError(f"no Table-1 cost row for collective {op!r}")
+
+
+def exchange_stats_bytes(
+    strategy: str,
+    *,
+    q: int,
+    c: int,
+    f: int,
+    p: int,
+    top_k: int | None = None,
+    value_nbytes: int = 8,
+) -> float:
+    """Per-rank bytes one stats exchange injects into the network, by
+    strategy, for ``q`` intervals × ``c`` classes × ``f`` attributes on
+    ``p`` processors.
+
+    The exact strategies ship the full O(q·c·f) statistics: the
+    attribute-partitioned alltoalls keep each rank's own share local (a
+    ``(p-1)/p`` factor), the naive allreduce pushes the whole vector
+    through the combine. ``"voting"`` ships one (attribute, gini) ballot
+    of ``top_k`` rows to every peer plus the alltoall restricted to the
+    at most ``min(2·top_k, f)`` elected attributes — the O(f) → O(k)
+    reduction the PV-Tree vote buys.
+    """
+    full = float(q) * c * f * value_nbytes
+    frac = (p - 1) / p if p > 0 else 0.0
+    if strategy in ("attribute", "distributed"):
+        return full * frac
+    if strategy == "allreduce":
+        return full
+    if strategy == "voting":
+        if top_k is None:
+            raise ValueError("voting needs top_k")
+        candidates = min(2 * top_k, f)
+        ballots = min(top_k, f) * 2 * value_nbytes * max(p - 1, 0)
+        return float(q) * c * candidates * value_nbytes * frac + ballots
+    raise ValueError(f"unknown exchange strategy {strategy!r}")
+
+
+def exchange_cost(
+    network: NetworkModel,
+    strategy: str,
+    *,
+    q: int,
+    c: int,
+    f: int,
+    p: int,
+    top_k: int | None = None,
+    value_nbytes: int = 8,
+) -> float:
+    """Table-1 predicted time of one stats exchange, by strategy.
+
+    ``"attribute"`` pays one alltoallv of the partitioned statistics
+    plus the split election combine; ``"distributed"`` adds the parallel
+    prefix sum that recovers block-base cumulative counts;
+    ``"allreduce"`` is one global combine of everything; ``"voting"``
+    pays the ballot all-to-all broadcast up front and then the
+    attribute-partitioned alltoallv over only the elected candidates.
+    """
+    w = value_nbytes
+    frac = (p - 1) / p if p > 0 else 0.0
+    election = network.global_combine(8.0, p)
+    if strategy == "attribute":
+        b = q * c * f * w * frac
+        return network.alltoallv(b, b, p) + election
+    if strategy == "distributed":
+        b = q * c * f * w * frac
+        return (
+            network.alltoallv(b, b, p)
+            + network.prefix_sum(f * c * w, p)
+            + election
+        )
+    if strategy == "allreduce":
+        return network.global_combine(q * c * f * w, p) + election
+    if strategy == "voting":
+        if top_k is None:
+            raise ValueError("voting needs top_k")
+        candidates = min(2 * top_k, f)
+        b = q * c * candidates * w * frac
+        return (
+            network.all_to_all_broadcast(min(top_k, f) * 2 * w, p)
+            + network.alltoallv(b, b, p)
+            + election
+        )
+    raise ValueError(f"unknown exchange strategy {strategy!r}")
 
 
 @dataclass(frozen=True)

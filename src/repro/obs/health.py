@@ -180,7 +180,7 @@ def _predict_group(
         m = max(s.sent for s in group)
     elif op == "scatter":
         m = max(s.received for s in group)
-    elif op == "allgather":
+    elif op in ("allgather", "vote"):
         m = max(s.sent for s in group) / (p - 1) if p > 1 else 0.0
     elif op == "barrier":
         m = 0.0

@@ -57,6 +57,7 @@ _COLLECTIVES = (
     "scatter",
     "gather",
     "allgather",
+    "vote",
     "reduce",
     "allreduce",
     "allreduce_minloc",
@@ -182,6 +183,17 @@ def _register_metrics(registry: MetricsRegistry) -> None:
             "repro_exchange_total",
             "Statistics exchanges by strategy",
             ("rank", "strategy"),
+        ),
+        Counter(
+            "repro_exchange_payload_bytes_total",
+            "Interval/class statistics bytes this rank shipped into the "
+            "stats-exchange collectives, by strategy",
+            ("rank", "strategy"),
+        ),
+        Counter(
+            "repro_exchange_elected_attributes_total",
+            "Attributes elected by top-k voting (exchange='voting')",
+            ("rank",),
         ),
         Counter("repro_attempts_total", "Fit attempts (1 + restarts)", ("rank",)),
         Gauge("repro_frontier_nodes", "Frontier width at a level", ("level",)),
@@ -451,6 +463,20 @@ class MetricsRecorder:
     def on_stats_exchange(self, strategy: str, n_nodes: int) -> None:
         self.shard.inc(
             "repro_exchange_total", (self.rank_label, strategy), float(n_nodes)
+        )
+
+    def on_exchange_payload(self, strategy: str, nbytes: int) -> None:
+        self.shard.inc(
+            "repro_exchange_payload_bytes_total",
+            (self.rank_label, strategy),
+            float(nbytes),
+        )
+
+    def on_vote_election(self, elected_sets: tuple) -> None:
+        self.shard.inc(
+            "repro_exchange_elected_attributes_total",
+            (self.rank_label,),
+            float(sum(len(names) for names in elected_sets)),
         )
 
     # -- end of run ----------------------------------------------------------
