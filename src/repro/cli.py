@@ -442,6 +442,98 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_critpath(args: argparse.Namespace) -> int:
+    """Run a traced+metered fit, extract its causal critical path, and
+    report the Table-1 blame decomposition with bounded what-if speedups
+    (see docs/observability.md)."""
+    import json
+
+    from repro.cluster.tracereport import write_chrome_trace
+    from repro.obs.critpath import (
+        build_critical_path,
+        critpath_alerts,
+        record_critpath_metrics,
+    )
+    from repro.obs.health import HealthThresholds
+    from repro.obs.report import render_critpath_markdown
+    from repro.obs.whatif import (
+        evaluate_all,
+        standard_scenarios,
+        voting_payload_ratio,
+    )
+
+    cfg = ExperimentConfig(
+        n_records=args.records, n_ranks=args.ranks, scale=args.scale,
+        seed=args.seed, frontier_batching=args.frontier_batching,
+        buffer_pool=args.buffer_pool,
+        exchange=args.exchange, vote_top_k=args.vote_top_k,
+    )
+    res = run_pclouds(cfg, trace=True, metrics=True)
+    network = scaled_models(cfg.scale)[0]
+    path = build_critical_path(res.tracers, network, elapsed=res.elapsed)
+    if path.length != res.elapsed:
+        print(
+            f"INVARIANT VIOLATION: path length {path.length!r} != "
+            f"simulated elapsed {res.elapsed!r}",
+            file=sys.stderr,
+        )
+        return 1
+
+    estimates = None
+    if args.what_if:
+        schema = quest_schema()
+        ratio = voting_payload_ratio(
+            q=cfg.resolved_q_root(), c=schema.n_classes, f=len(schema),
+            p=cfg.n_ranks, top_k=cfg.vote_top_k,
+        )
+        estimates = evaluate_all(path, standard_scenarios(ratio))
+
+    thresholds = HealthThresholds(critpath_dominant_share=args.max_share)
+    alerts = critpath_alerts(path, thresholds)
+    if res.metrics is not None:
+        record_critpath_metrics(res.metrics, path)
+    if res.health is not None:
+        res.health.alerts.extend(alerts)
+
+    print(render_critpath_markdown(
+        path,
+        estimates=estimates,
+        alerts=alerts,
+        title=f"Critical path: {args.records:,} records on {args.ranks} ranks",
+        meta={
+            "exchange": cfg.exchange,
+            "buffer_pool": cfg.buffer_pool,
+            "frontier_batching": cfg.frontier_batching,
+            "elapsed_s": f"{res.elapsed:.4f}",
+        },
+    ))
+    if args.json_out:
+        payload = {
+            "critical_path": path.to_dict(),
+            "what_if": [e.to_dict() for e in estimates] if estimates else [],
+            "alerts": [
+                {
+                    "indicator": a.indicator,
+                    "op": a.op,
+                    "value": a.value,
+                    "threshold": a.threshold,
+                    "message": a.message,
+                }
+                for a in alerts
+            ],
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, default=float)
+        print(f"wrote critical-path JSON to {args.json_out}")
+    if args.out:
+        write_chrome_trace(args.out, res.tracers, path)
+        print(f"wrote Chrome-trace JSON (flow events + critical-path "
+              f"overlay) to {args.out} — load at https://ui.perfetto.dev")
+    if args.strict and alerts:
+        return 1
+    return 0
+
+
 # -- parser ---------------------------------------------------------------------
 
 
@@ -624,6 +716,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true", help="exit nonzero on any alert"
     )
     h.set_defaults(func=cmd_health)
+
+    cp = sub.add_parser(
+        "critpath",
+        help="traced fit + causal critical path: which events determined "
+        "the elapsed time, and what would relieving them pay?",
+    )
+    cp.add_argument("--records", type=int, default=4000)
+    cp.add_argument("--ranks", type=int, default=4)
+    cp.add_argument("--scale", type=float, default=200.0, help="cost-model scale")
+    cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument(
+        "--frontier-batching", default="level", choices=["level", "per_node"]
+    )
+    cp.add_argument(
+        "--buffer-pool", default="lru+prefetch",
+        choices=list(Cluster.BUFFER_POOL_MODES),
+        help="out-of-core chunk cache mode",
+    )
+    cp.add_argument(
+        "--exchange", default="attribute", choices=list(EXCHANGE_STRATEGIES),
+        help="statistics-exchange strategy",
+    )
+    cp.add_argument(
+        "--vote-top-k", type=int, default=8,
+        help="voting exchange: attributes each rank nominates",
+    )
+    cp.add_argument(
+        "--what-if", action="store_true",
+        help="include bounded counterfactual speedups (Table-1 closed forms)",
+    )
+    cp.add_argument(
+        "--max-share", type=float, default=0.9,
+        help="alert when one category exceeds this share of the path",
+    )
+    cp.add_argument("--json-out", help="write path + what-if JSON here")
+    cp.add_argument(
+        "--out",
+        help="write Chrome-trace JSON with flow events and the "
+        "critical-path overlay",
+    )
+    cp.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on a dominant-category alert or invariant "
+        "violation",
+    )
+    cp.set_defaults(func=cmd_critpath)
 
     return parser
 

@@ -52,6 +52,18 @@ WORLD = "world"
 _P2P_OPS = ("send", "recv", "isend")
 
 
+def _p2p_peer_tag(op, args, kwargs):
+    """Destination/source rank and tag of a p2p call, read straight from
+    the call arguments (never from the payload — no extra walks)."""
+    if op == "recv":  # recv(src, tag=0)
+        peer = args[0] if args else kwargs.get("src")
+        tag = args[1] if len(args) > 1 else kwargs.get("tag", 0)
+    else:  # send(obj, dst, tag=0) / isend(obj, dst, tag=0)
+        peer = args[1] if len(args) > 1 else kwargs.get("dst")
+        tag = args[2] if len(args) > 2 else kwargs.get("tag", 0)
+    return (int(peer) if peer is not None else None), int(tag)
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One traced event: a communication call, a disk access, or a
@@ -67,6 +79,17 @@ class TraceEvent:
     sent: int = 0  # bytes this rank sent (comm) / wrote (disk)
     received: int = 0  # bytes this rank received (comm) / read (disk)
     level: int | None = None  # frontier level open when the event happened
+    #: simulated seconds this rank spent blocked inside the event waiting
+    #: for other ranks (collective sync slack, recv before the matching
+    #: send arrived) — taken from the RankStats.idle_time delta, so the
+    #: event's duration splits exactly into charged work + blocked.
+    blocked: float = 0.0
+    #: prefetch_wait only: rated disk seconds hidden behind compute by
+    #: the overlapped prefetch (RankStats.io_overlap_saved delta).
+    saved: float = 0.0
+    peer: int | None = None  # p2p events: the other rank
+    tag: int | None = None  # p2p events: message tag
+    attempt: int = 0  # fit attempt (restarts increment; 0 = first)
 
     @property
     def duration(self) -> float:
@@ -92,10 +115,15 @@ class Tracer:
     #: the driver's ``on_stats_exchange`` notification), so roll-ups can
     #: label stats traffic with the strategy that produced it.
     exchange_strategy: str | None = None
+    #: fit attempt currently recording (driver ``begin_attempt``).
+    attempt: int = 0
     # bytes already attributed to recorded comm events; lets an outer
     # primitive (split) subtract what its nested calls already logged.
     attributed_sent: int = 0
     attributed_received: int = 0
+    # blocked seconds already attributed, same subtraction rule (split's
+    # nested allgather records the sync slack; the outer split must not).
+    attributed_blocked: float = 0.0
 
     def record(
         self,
@@ -109,6 +137,10 @@ class Tracer:
         sent: int = 0,
         received: int = 0,
         phase: str | None = None,
+        blocked: float = 0.0,
+        saved: float = 0.0,
+        peer: int | None = None,
+        tag: int | None = None,
     ) -> None:
         if phase is None and self.phase_source is not None:
             phase = self.phase_source.current
@@ -126,11 +158,17 @@ class Tracer:
                 sent=int(sent),
                 received=int(received),
                 level=self.level,
+                blocked=blocked,
+                saved=saved,
+                peer=peer,
+                tag=tag,
+                attempt=self.attempt,
             )
         )
         if kind == "comm":
             self.attributed_sent += int(sent)
             self.attributed_received += int(received)
+            self.attributed_blocked += blocked
 
     def record_disk(
         self, op: str, nbytes: int, t_start: float, t_end: float
@@ -143,6 +181,26 @@ class Tracer:
             kind="disk",
             sent=nbytes if op == "write" else 0,
             received=nbytes if op == "read" else 0,
+        )
+
+    def record_prefetch_wait(
+        self, nbytes: int, t_start: float, t_end: float, saved: float
+    ) -> None:
+        """Consumption point of one overlapped prefetch: the residual
+        wait the rank actually paid (``t_end - t_start``, possibly zero)
+        plus the rated disk seconds the overlap hid (``saved``). Emitted
+        by :meth:`repro.ooc.disk.LocalDisk.complete_prefetch`; this — not
+        the issue-time ``prefetch`` slice, whose end time goes stale when
+        demand I/O preempts the queue — is the disk event that can sit on
+        the critical path."""
+        self.record(
+            "prefetch_wait",
+            nbytes,
+            t_start,
+            t_end,
+            kind="disk",
+            received=nbytes,
+            saved=saved,
         )
 
     def record_phase(self, name: str, t_start: float, t_end: float) -> None:
@@ -160,9 +218,10 @@ class Tracer:
     def end_level(self) -> None:
         self.level = None
 
-    def begin_attempt(self, _attempt: int) -> None:
+    def begin_attempt(self, attempt: int) -> None:
         # a crashed attempt may leave a level open; the restart closes it
         self.level = None
+        self.attempt = attempt
 
     def on_stats_exchange(self, strategy: str, _n_nodes: int) -> None:
         self.exchange_strategy = strategy
@@ -269,7 +328,9 @@ class _TracingComm(Comm):
                 stats = ctx.stats
                 t0 = ctx.clock.now
                 s0, r0 = stats.bytes_sent, stats.bytes_received
+                i0 = stats.idle_time
                 a_s0, a_r0 = tracer.attributed_sent, tracer.attributed_received
+                a_b0 = tracer.attributed_blocked
                 out = real(*args, **kwargs)
                 # stats delta minus whatever nested traced calls already
                 # attributed (split's inner allgather records itself)
@@ -277,6 +338,12 @@ class _TracingComm(Comm):
                 received = (stats.bytes_received - r0) - (
                     tracer.attributed_received - a_r0
                 )
+                blocked = (stats.idle_time - i0) - (
+                    tracer.attributed_blocked - a_b0
+                )
+                peer = tag = None
+                if name in _P2P_OPS:
+                    peer, tag = _p2p_peer_tag(name, args, kwargs)
                 if name == "split":
                     members = ",".join(str(r) for r in out.parent_ranks)
                     out = _TracingComm(out, tracer, label=f"{label}/{members}")
@@ -288,6 +355,9 @@ class _TracingComm(Comm):
                     comm=label,
                     sent=sent,
                     received=received,
+                    blocked=blocked,
+                    peer=peer,
+                    tag=tag,
                 )
                 return out
 

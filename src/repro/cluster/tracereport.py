@@ -53,6 +53,10 @@ class LevelRow:
     disk_time: float
     disk_read: int
     disk_written: int
+    #: simulated seconds of disk transfer this level hid behind compute
+    #: via overlapped prefetch (sum of the ``prefetch_wait`` events'
+    #: ``saved``); reconciles exactly against ``stats.io_overlap_saved``
+    overlap_saved: float = 0.0
 
     @property
     def name(self) -> str:
@@ -214,7 +218,9 @@ class TraceReport:
             for e in t.events:
                 if e.kind not in ("comm", "disk"):
                     continue
-                cell = acc.setdefault(e.level, [0, 0.0, 0, 0, 0, 0.0, 0, 0])
+                cell = acc.setdefault(
+                    e.level, [0, 0.0, 0, 0, 0, 0.0, 0, 0, 0.0]
+                )
                 if e.kind == "comm":
                     cell[0] += 1
                     cell[1] += e.duration
@@ -225,6 +231,7 @@ class TraceReport:
                     cell[5] += e.duration
                     cell[6] += e.received  # disk events: received = read
                     cell[7] += e.sent  # sent = written
+                    cell[8] += e.saved  # prefetch overlap hidden here
         ordered = sorted(acc, key=lambda lv: (lv is None, lv if lv is not None else 0))
         return [
             LevelRow(
@@ -237,6 +244,7 @@ class TraceReport:
                 disk_time=acc[lv][5],
                 disk_read=acc[lv][6],
                 disk_written=acc[lv][7],
+                overlap_saved=acc[lv][8],
             )
             for lv in ordered
         ]
@@ -285,6 +293,17 @@ class TraceReport:
         """Total bytes sent by stats-exchange collectives over all ranks
         and levels — the single number the voting strategy shrinks."""
         return sum(row.sent for row in self.exchange_rollup())
+
+    def critical_path(self, network=None, *, elapsed: float | None = None):
+        """The run's causal critical path
+        (:func:`repro.obs.critpath.build_critical_path` over these
+        tracers). Pass the run's :class:`NetworkModel` so comm blame
+        splits into startup vs. bandwidth with the machine's actual
+        alpha/beta ratio, and the run's elapsed time to account trailing
+        local work after the last traced event."""
+        from repro.obs.critpath import build_critical_path
+
+        return build_critical_path(self.tracers, network, elapsed=elapsed)
 
     def rank_skew(self) -> float:
         """Spread of the ranks' final event times: (max - min) / max.
@@ -336,14 +355,15 @@ class TraceReport:
             lines.append(
                 f"{'level':<8} {'comm n':>7} {'comm(s)':>10} {'sent':>14} "
                 f"{'received':>14} {'disk n':>7} {'disk(s)':>10} "
-                f"{'read':>14} {'written':>14}"
+                f"{'read':>14} {'written':>14} {'hidden(s)':>10}"
             )
             for row in levels:
                 lines.append(
                     f"{row.name:<8} {row.comm_count:>7} {row.comm_time:>10.3f} "
                     f"{row.comm_sent:>14,} {row.comm_received:>14,} "
                     f"{row.disk_count:>7} {row.disk_time:>10.3f} "
-                    f"{row.disk_read:>14,} {row.disk_written:>14,}"
+                    f"{row.disk_read:>14,} {row.disk_written:>14,} "
+                    f"{row.overlap_saved:>10.3f}"
                 )
         exchange = self.exchange_rollup()
         if exchange:
@@ -377,20 +397,121 @@ class TraceReport:
                     f"{ph:<14} {mx:>10.3f} {mean:>10.3f} {ratio:>10.2f}"
                 )
         lines.append(f"finish-time skew across ranks: {self.rank_skew():.1%}")
+        try:
+            path = self.critical_path()
+        except Exception:
+            path = None  # partial / foreign event streams: skip section
+        if path is not None and path.length > 0:
+            lines.append("")
+            lines.append(
+                "== critical path (default machine model; use "
+                "`repro critpath` for the run's model) =="
+            )
+            cats = path.by_category()
+            for cat, secs in cats.items():
+                if secs > 0:
+                    lines.append(
+                        f"{cat:<16} {secs:>10.3f}s {path.share(cat):>7.1%}"
+                    )
+            lines.append(
+                f"length {path.length:.3f}s on {path.n_cross_rank + 1} rank "
+                f"visit(s), ends on rank {path.end_rank}"
+            )
+            blame = path.by_level_category()
+            by_level = path.by_level()
+            if any(lv is not None for lv in by_level):
+                lines.append(f"{'level':<8} {'path(s)':>10}  dominant blame")
+                for lv in sorted(
+                    by_level, key=lambda x: (x is None, x if x is not None else 0)
+                ):
+                    cell = blame[lv]
+                    dom = max(cell, key=cell.get)
+                    share = cell[dom] / by_level[lv] if by_level[lv] else 0.0
+                    name = "outside" if lv is None else str(lv)
+                    lines.append(
+                        f"{name:<8} {by_level[lv]:>10.3f}  {dom} {share:.0%}"
+                    )
         return "\n".join(lines)
 
 
 # -- Chrome trace / Perfetto export ------------------------------------------
 
 
-def to_chrome_trace(tracers: Iterable[Tracer]) -> dict:
+def _flow_events(tracers: list[Tracer], critical_path=None) -> list[dict]:
+    """Chrome-trace flow arrows ("s"/"f" pairs) making cross-rank
+    causality visible in Perfetto: one fan-out per collective from the
+    last-arriving participant (whose entry releases everyone) to every
+    other participant's exit, one arrow per matched ``send``/``recv``
+    pair, and — when a :class:`~repro.obs.critpath.CriticalPath` is
+    passed — highlighted arrows at each of the path's rank crossings."""
+    from repro.obs.critpath import (
+        CritPathError,
+        _timeline,
+        collective_groups,
+        match_p2p,
+    )
+
+    try:
+        attempt = max(
+            (e.attempt for t in tracers for e in t.events), default=0
+        )
+        timelines = [_timeline(t, attempt) for t in tracers]
+        groups = collective_groups(timelines)
+        p2p = match_p2p(timelines)
+    except CritPathError:
+        return []  # foreign / inconsistent streams: no arrows
+    flows: list[dict] = []
+    next_id = 1
+
+    def arrow(name, src_tid, src_ts, dst_tid, dst_ts, cat="flow"):
+        nonlocal next_id
+        common = {"cat": cat, "name": name, "id": next_id, "pid": 0}
+        flows.append({**common, "ph": "s", "tid": src_tid, "ts": src_ts * 1e6})
+        flows.append(
+            {**common, "ph": "f", "bp": "e", "tid": dst_tid, "ts": dst_ts * 1e6}
+        )
+        next_id += 1
+
+    seen: set[int] = set()
+    for evs in timelines:
+        for e in evs:
+            g = groups.get(id(e))
+            if g is None or id(g[0][1]) in seen:
+                continue
+            seen.add(id(g[0][1]))
+            if len(g) < 2:
+                continue
+            t_sync = max(ev.t_start for _, ev in g)
+            src = min(rk for rk, ev in g if ev.t_start == t_sync)
+            for rk, ev in g:
+                if rk != src:
+                    arrow(e.op, src, t_sync, rk, ev.t_end)
+    for rank, evs in enumerate(timelines):
+        for e in evs:
+            m = p2p.get(id(e))
+            if m is None:
+                continue
+            src, se = m
+            arrow(f"{se.op}->recv", src, se.t_end, rank, e.t_end)
+    if critical_path is not None:
+        for a, b in critical_path.crossings():
+            arrow(
+                f"critpath:{b.op}", a.rank, a.t_end, b.rank, b.t_start,
+                cat="critpath",
+            )
+    return flows
+
+
+def to_chrome_trace(tracers: Iterable[Tracer], critical_path=None) -> dict:
     """The run as a Chrome-trace dict (``{"traceEvents": [...]}``).
 
     Complete ("X") slices, one trace thread per rank, with phase spans
-    enclosing the comm/disk slices they cover. Simulated seconds map to
-    trace microseconds; byte counts and communicator labels travel in
-    each slice's ``args``.
+    enclosing the comm/disk slices they cover, plus flow events tracing
+    cross-rank causality (see :func:`_flow_events`). Simulated seconds
+    map to trace microseconds; byte counts and communicator labels
+    travel in each slice's ``args``.
     """
+    tracers = list(tracers)
     events: list[dict] = []
     for t in tracers:
         events.append(
@@ -433,10 +554,13 @@ def to_chrome_trace(tracers: Iterable[Tracer]) -> dict:
         # phase > primitive correctly
         slices.sort(key=lambda s: (s["ts"], -s["dur"]))
         events.extend(slices)
+    events.extend(_flow_events(tracers, critical_path))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(path: str, tracers: Iterable[Tracer]) -> None:
+def write_chrome_trace(
+    path: str, tracers: Iterable[Tracer], critical_path=None
+) -> None:
     """Write :func:`to_chrome_trace` output as JSON, for Perfetto."""
     with open(path, "w") as fh:
-        json.dump(to_chrome_trace(tracers), fh)
+        json.dump(to_chrome_trace(tracers, critical_path), fh)

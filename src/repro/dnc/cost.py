@@ -28,6 +28,7 @@ __all__ = [
     "collective_cost",
     "exchange_stats_bytes",
     "exchange_cost",
+    "startup_cost",
 ]
 
 
@@ -74,6 +75,17 @@ def collective_cost(
     if op == "alltoall":
         return network.alltoallv(out_bytes, in_bytes, p)
     raise ValueError(f"no Table-1 cost row for collective {op!r}")
+
+
+def startup_cost(network: NetworkModel, op: str, *, p: int) -> float:
+    """The startup (latency) column of the op's Table-1 row: its cost at
+    zero payload. The critical-path profiler uses
+    ``startup_cost / collective_cost`` to split an observed collective
+    interval into startup vs. bandwidth blame; the ratio is invariant
+    under uniform scaling of the machine model."""
+    if op == "alltoall":
+        return collective_cost(network, op, p=p, out_bytes=0.0, in_bytes=0.0)
+    return collective_cost(network, op, p=p, m=0.0)
 
 
 def exchange_stats_bytes(

@@ -17,11 +17,29 @@ Three layers, each usable on its own:
   :mod:`repro.dnc.cost`, raising structured alerts past configurable
   thresholds.
 
+A fourth, post-run layer answers *where the time went*:
+:mod:`repro.obs.critpath` extracts the causal critical path of a traced
+run and attributes it to compute / disk / collective startup vs.
+bandwidth / blocked-wait / fault-retry, and :mod:`repro.obs.whatif`
+bounds the payoff of counterfactual machines (infinite disk, zero
+startup, balanced partitions, voting payloads) with the Table-1 closed
+forms.
+
 Exports: :func:`repro.obs.prometheus.to_prometheus` (text exposition
 format), JSON snapshots (``MetricsRegistry.snapshot``), and the
-``repro health`` CLI's markdown report (:mod:`repro.obs.report`).
+``repro health`` / ``repro critpath`` CLIs' markdown reports
+(:mod:`repro.obs.report`).
 """
 
+from .critpath import (
+    CATEGORIES,
+    CriticalPath,
+    CritPathError,
+    PathSegment,
+    build_critical_path,
+    critpath_alerts,
+    record_critpath_metrics,
+)
 from .health import (
     HealthAlert,
     HealthMonitor,
@@ -32,10 +50,21 @@ from .health import (
 from .instrument import MetricsRecorder, attach_metrics
 from .prometheus import to_prometheus
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, RankShard
-from .report import render_health_markdown
+from .report import render_critpath_markdown, render_health_markdown
+from .whatif import (
+    Scenario,
+    WhatIfEstimate,
+    evaluate,
+    evaluate_all,
+    standard_scenarios,
+    voting_payload_ratio,
+)
 
 __all__ = [
+    "CATEGORIES",
     "Counter",
+    "CritPathError",
+    "CriticalPath",
     "Gauge",
     "Histogram",
     "HealthAlert",
@@ -45,8 +74,19 @@ __all__ = [
     "LevelHealth",
     "MetricsRecorder",
     "MetricsRegistry",
+    "PathSegment",
     "RankShard",
+    "Scenario",
+    "WhatIfEstimate",
     "attach_metrics",
+    "build_critical_path",
+    "critpath_alerts",
+    "evaluate",
+    "evaluate_all",
+    "record_critpath_metrics",
+    "render_critpath_markdown",
     "render_health_markdown",
+    "standard_scenarios",
     "to_prometheus",
+    "voting_payload_ratio",
 ]

@@ -115,6 +115,11 @@ class HealthThresholds:
     #: fraction of the requested target QPS
     serve_p99_seconds: float = 0.05
     serve_min_qps_ratio: float = 0.9
+    #: critical-path profile (``repro critpath``): alert when a single
+    #: attribution category holds more than this share of the path —
+    #: the run is bound by one resource and the what-if bound says how
+    #: much relieving it can pay
+    critpath_dominant_share: float = 0.9
 
 
 @dataclass(frozen=True)
@@ -346,6 +351,19 @@ class HealthMonitor:
             )
         )
         self.alerts.extend(alerts)
+
+    def evaluate_critical_path(self, path) -> list[HealthAlert]:
+        """Evaluate a run's extracted
+        :class:`~repro.obs.critpath.CriticalPath` against the
+        ``critpath_dominant_share`` threshold and append any alert to
+        this monitor. Called post-run (the path needs the whole trace),
+        unlike the per-level indicators above."""
+        from .critpath import critpath_alerts
+
+        alerts = critpath_alerts(path, self.thresholds)
+        with self._lock:
+            self.alerts.extend(alerts)
+        return alerts
 
     # -- aggregates ----------------------------------------------------------
     def overall_drift_by_op(self) -> dict[str, tuple[float, float]]:

@@ -556,6 +556,15 @@ class _Tee:
         self.first.record_fault(op, t)
         self.second.record_fault(op, t)
 
+    def record_prefetch_wait(
+        self, nbytes: int, t0: float, t1: float, saved: float
+    ) -> None:
+        # optional sink hook (only the event tracer implements it today)
+        for sink in (self.first, self.second):
+            fn = getattr(sink, "record_prefetch_wait", None)
+            if fn is not None:
+                fn(nbytes, t0, t1, saved)
+
 
 class _MeteredComm:
     """Outermost communicator wrapper: meters every primitive from stats

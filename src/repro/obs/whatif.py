@@ -1,0 +1,198 @@
+"""What-if engine: re-time the critical path under counterfactuals.
+
+Given the extracted :class:`~repro.obs.critpath.CriticalPath`, each
+:class:`Scenario` rescales the path's per-category seconds with the same
+Table-1 closed forms (:mod:`repro.dnc.cost`) the profiler used to split
+them — infinite disk bandwidth zeroes the disk categories, zero
+collective startup zeroes the alpha terms, voting payloads shrink
+stats-phase bandwidth by the exact :func:`~repro.dnc.cost.exchange_stats_bytes`
+ratio, and perfect balance removes the slowest rank's sync-slack surplus.
+
+Every estimate is a **bound**, not a prediction: the counterfactual run
+would route its critical path differently (work currently hidden off the
+path can surface once the dominant category shrinks), so the true
+counterfactual elapsed lies in ``[estimate, baseline]`` and the reported
+``speedup = baseline / estimate`` is an upper bound on the payoff. That
+is exactly the decision-support number the scheduler roadmap items need:
+if the *bound* is small, the optimisation cannot help; if it is large,
+it might.
+
+Tolerance note (pinned by ``tests/test_critpath.py``): on fault-free
+runs the communicator charges collectives exactly their Table-1 cost
+(cost-model drift == 1.0), so the ``disk_free`` estimate equals the
+path's non-disk seconds *exactly*, and agrees with a
+:class:`~repro.dnc.cost.DncCostModel` rebuilt on a zero-cost
+:class:`~repro.cluster.diskmodel.DiskModel` to the same fidelity the
+model has for the real run (the closed forms idealise frontier shape, so
+we document and test agreement of the *ratio* within 15%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dnc.cost import exchange_stats_bytes
+
+from .critpath import CriticalPath
+
+__all__ = [
+    "Scenario",
+    "WhatIfEstimate",
+    "evaluate",
+    "evaluate_all",
+    "standard_scenarios",
+    "voting_payload_ratio",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One counterfactual machine. Scales multiply the matching
+    path-category seconds (0.0 = the resource becomes free); ``balanced``
+    instead removes the end rank's busy-time surplus over the mean."""
+
+    name: str
+    description: str = ""
+    disk_scale: float = 1.0  # disk_read + disk_write
+    startup_scale: float = 1.0  # comm_startup
+    bandwidth_scale: float = 1.0  # comm_bandwidth
+    #: when set, overrides ``bandwidth_scale`` for segments of the stats
+    #: exchange phase only (the voting-payload counterfactual)
+    stats_bandwidth_scale: float | None = None
+    balanced: bool = False
+
+
+@dataclass(frozen=True)
+class WhatIfEstimate:
+    scenario: Scenario
+    baseline: float  # measured critical-path seconds
+    estimate: float  # lower bound on the counterfactual elapsed
+    removed: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def saved(self) -> float:
+        return self.baseline - self.estimate
+
+    @property
+    def speedup(self) -> float:
+        """Upper bound on the counterfactual speedup (path not
+        re-routed; see module docstring)."""
+        if self.estimate <= 0.0:
+            return float("inf")
+        return self.baseline / self.estimate
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.name,
+            "description": self.scenario.description,
+            "baseline_seconds": self.baseline,
+            "estimate_seconds": self.estimate,
+            "saved_seconds": self.saved,
+            "speedup_bound": self.speedup,
+            "removed": dict(self.removed),
+        }
+
+
+def evaluate(path: CriticalPath, scenario: Scenario) -> WhatIfEstimate:
+    """Re-time ``path`` under ``scenario``."""
+    baseline = path.length
+    removed: dict[str, float] = {}
+    if scenario.balanced:
+        # busy time = wall time minus slack spent waiting at sync points;
+        # balance can at best level every rank down to the mean busy time
+        busy = [e - b for e, b in zip(path.rank_end, path.rank_blocked)]
+        if busy:
+            surplus = max(0.0, max(busy) - sum(busy) / len(busy))
+        else:  # pragma: no cover - empty run
+            surplus = 0.0
+        surplus = min(surplus, baseline)
+        if surplus:
+            removed["imbalance_surplus"] = surplus
+        return WhatIfEstimate(scenario, baseline, baseline - surplus, removed)
+
+    def scale_for(seg) -> float:
+        if seg.category in ("disk_read", "disk_write"):
+            return scenario.disk_scale
+        if seg.category == "comm_startup":
+            return scenario.startup_scale
+        if seg.category == "comm_bandwidth":
+            if (
+                scenario.stats_bandwidth_scale is not None
+                and seg.phase == "stats"
+            ):
+                return scenario.stats_bandwidth_scale
+            return scenario.bandwidth_scale
+        return 1.0  # compute, blocked_wait, fault_retry: untouched
+
+    estimate = 0.0
+    for seg in path.segments:
+        k = scale_for(seg)
+        estimate += seg.duration * k
+        if k != 1.0:
+            cut = seg.duration * (1.0 - k)
+            removed[seg.category] = removed.get(seg.category, 0.0) + cut
+    return WhatIfEstimate(scenario, baseline, estimate, removed)
+
+
+def evaluate_all(
+    path: CriticalPath, scenarios: list[Scenario]
+) -> list[WhatIfEstimate]:
+    return [evaluate(path, s) for s in scenarios]
+
+
+def voting_payload_ratio(
+    *,
+    q: int,
+    c: int,
+    f: int,
+    p: int,
+    top_k: int,
+    strategy: str = "attribute",
+    value_nbytes: int = 8,
+) -> float:
+    """Stats-exchange payload of ``exchange='voting'`` relative to
+    ``strategy``, from the closed forms — the bandwidth scale for the
+    voting counterfactual."""
+    base = exchange_stats_bytes(
+        strategy, q=q, c=c, f=f, p=p, value_nbytes=value_nbytes
+    )
+    vote = exchange_stats_bytes(
+        "voting", q=q, c=c, f=f, p=p, top_k=top_k, value_nbytes=value_nbytes
+    )
+    if base <= 0.0:
+        return 1.0
+    return min(1.0, vote / base)
+
+
+def standard_scenarios(stats_ratio: float | None = None) -> list[Scenario]:
+    """The Table-1 counterfactual suite the CLI reports. Pass
+    ``stats_ratio`` (from :func:`voting_payload_ratio`) to include the
+    voting-payload scenario."""
+    out = [
+        Scenario(
+            "disk_free",
+            "infinite disk bandwidth: all path disk time vanishes",
+            disk_scale=0.0,
+        ),
+        Scenario(
+            "zero_startup",
+            "zero collective/message startup (alpha = 0)",
+            startup_scale=0.0,
+        ),
+        Scenario(
+            "balanced",
+            "perfectly balanced partitions: slowest rank busy time "
+            "levelled to the mean",
+            balanced=True,
+        ),
+    ]
+    if stats_ratio is not None:
+        out.append(
+            Scenario(
+                "voting_payload",
+                "stats exchange shrunk to top-k voting payload "
+                f"({stats_ratio:.3g}x of current bytes)",
+                stats_bandwidth_scale=stats_ratio,
+            )
+        )
+    return out

@@ -143,6 +143,7 @@ class LocalDisk:
         whatever is left of the transfer, record the volume once (the
         transfer itself was traced at issue time), and return the time
         the overlap saved versus a synchronous read."""
+        t0 = self.clock.now
         wait = max(0.0, completion - self.clock.now)
         if wait:
             self.clock.advance_to(completion)
@@ -151,6 +152,15 @@ class LocalDisk:
         self.stats.io_overlap_saved += saved
         self.stats.bytes_read += int(nbytes)
         self.stats.io_calls += 1
+        if self.tracer is not None:
+            # consumption-time event (the issue-time "prefetch" slice's
+            # end goes stale when demand I/O preempts the queue): the
+            # residual wait actually paid plus the seconds the overlap
+            # hid, so roll-ups can reconcile io_overlap_saved per level
+            # and the critical path only ever sees the wait.
+            rec = getattr(self.tracer, "record_prefetch_wait", None)
+            if rec is not None:
+                rec(int(nbytes), t0, self.clock.now, saved)
         return saved
 
     # -- integrity-checked chunk access -------------------------------------
