@@ -1,0 +1,259 @@
+"""Forest regime sweep: shared chunk cache payoff and the scheduling
+crossover.
+
+Trains B bagged trees over ONE distributed spool (per-tree multiplicity
+masks, no data duplication) at every feasible group count G — G=1 is the
+paper's data-parallel regime (B sequential waves over the full machine),
+G=min(B,p) is tree-parallel (disjoint rank groups fit concurrently),
+anything between is hybrid. Two acceptance gates:
+
+* **cross-tree read reduction**: at B=4 tree-parallel with the default
+  forest pool (sized to hold the shared base spool), concurrent trees
+  must serve each other's chunks well enough that total disk reads drop
+  >= 1.5x versus ``buffer_pool="off"``;
+* **measured crossover**: the winning group count must flip somewhere in
+  the B x pool_ratio sweep (no single G dominates every point), and the
+  sweep records where the cost model's ``auto`` pick agrees.
+
+Every point also checks member bit-identity: the forest fitted at any G
+must equal the forest fitted at G=1 tree for tree (CLOUDS-SSE splits are
+functions of the global record multiset, so the schedule must not leak
+into the model).
+
+Run standalone (CI smoke uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_forest.py [--quick]
+
+Writes ``BENCH_forest.json``; exits non-zero if any gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import (  # noqa: E402
+    ForestExperimentConfig,
+    run_forest,
+    scaled_models,
+)
+from repro.bench.reporting import format_table  # noqa: E402
+from repro.data import quest_schema  # noqa: E402
+from repro.dnc import DncCostModel, TreeShape  # noqa: E402
+from repro.forest import candidate_groups, resolve_n_groups  # noqa: E402
+
+P = 4
+READ_REDUCTION_FLOOR = 1.5
+
+#: None = the forest default (pool auto-sized to the tree-parallel
+#: working set); explicit ratios ablate smaller caches
+FULL_SIZES = {"0.24M": 2_400}
+FULL_TREES = [2, 4, 8]
+FULL_RATIOS = [8.0, None]
+QUICK_SIZES = {"0.12M": 1_200}
+QUICK_TREES = [2, 4]
+QUICK_RATIOS = [None]
+
+
+def ratio_label(ratio: float | None) -> str:
+    return "fit" if ratio is None else f"{ratio:g}"
+
+
+def regime_for(g: int, cands: list[int]) -> str:
+    if g == 1:
+        return "data"
+    if g == cands[-1]:
+        return "tree"
+    return "hybrid"
+
+
+def make_config(n: int, b: int, ratio: float | None, g: int, cands: list[int],
+                scale: float, pool: str = "lru+prefetch") -> ForestExperimentConfig:
+    regime = regime_for(g, cands)
+    return ForestExperimentConfig(
+        n_records=n, n_ranks=P, scale=scale, seed=0,
+        n_trees=b, regime=regime,
+        n_groups=g if regime == "hybrid" else None,
+        pool_ratio=ratio, buffer_pool=pool,
+    )
+
+
+def modeled_pick(cfg: ForestExperimentConfig) -> int:
+    """The cost model's ``auto`` choice for this point, computed exactly
+    as the trainer computes it (no fit needed)."""
+    schema = quest_schema()
+    row = schema.row_nbytes()
+    net, disk, compute = scaled_models(cfg.scale)
+    model = DncCostModel(network=net, disk=disk, compute=compute, n_ranks=P)
+    shape = TreeShape(
+        n_records=cfg.n_records,
+        leaf_records=cfg.min_node,
+        record_nbytes=row,
+    )
+    limit = cfg.memory_limit_bytes(row)
+    stats = len(schema.names) * cfg.resolved_q_root() * schema.n_classes * 8
+    g, _ = resolve_n_groups(
+        "auto", n_ranks=P, n_trees=cfg.n_trees, model=model, shape=shape,
+        memory_limit=limit, pool_bytes=cfg.pool_nbytes(row),
+        stats_nbytes=stats,
+    )
+    return g
+
+
+def run_point(cfg: ForestExperimentConfig) -> dict:
+    res = run_forest(cfg)
+    return {
+        "elapsed": res.elapsed,
+        "n_groups": res.n_groups,
+        "n_waves": res.n_waves,
+        "disk_read_bytes": int(sum(res.disk_read_bytes)),
+        "cross_tree": res.cross_tree,
+        # structural part only: per-tree meta records the schedule
+        # (n_groups), which legitimately differs between regimes
+        "_trees": [t.to_dict()["root"] for t in res.forest.trees],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="small grid for the CI smoke job",
+    )
+    ap.add_argument("--out", default="BENCH_forest.json", help="output JSON path")
+    ap.add_argument("--scale", type=float, default=100.0)
+    args = ap.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    trees = QUICK_TREES if args.quick else FULL_TREES
+    ratios = QUICK_RATIOS if args.quick else FULL_RATIOS
+
+    points = []
+    failures = []
+    winners = []  # measured winning group count per (size, B, ratio)
+    reductions = {}  # size label -> read reduction at the gate point
+
+    for label, n in sizes.items():
+        for b in trees:
+            cands = candidate_groups(P, b)
+            for ratio in ratios:
+                by_g = {}
+                for g in cands:
+                    cfg = make_config(n, b, ratio, g, cands, args.scale)
+                    by_g[g] = run_point(cfg)
+
+                # member bit-identity across every schedule of this point
+                ref = by_g[cands[0]].pop("_trees")
+                identical = True
+                for g in cands[1:]:
+                    if by_g[g].pop("_trees") != ref:
+                        identical = False
+                if not identical:
+                    failures.append(
+                        f"{label} B={b} ratio={ratio_label(ratio)}: "
+                        f"forests differ across group counts"
+                    )
+
+                winner = min(by_g, key=lambda g: by_g[g]["elapsed"])
+                modeled = modeled_pick(
+                    make_config(n, b, ratio, cands[-1], cands, args.scale)
+                )
+                winners.append(winner)
+                point = {
+                    "dataset": label,
+                    "n_records": n,
+                    "n_trees": b,
+                    "pool_ratio": ratio_label(ratio),
+                    "winner_g": winner,
+                    "modeled_g": modeled,
+                    "model_agrees": modeled == winner,
+                    "identical_forests": identical,
+                    "by_group": {str(g): by_g[g] for g in cands},
+                }
+
+                # the cross-tree gate: B=4 tree-parallel, default pool
+                if b == 4 and ratio is None:
+                    g_tree = cands[-1]
+                    off = run_point(
+                        make_config(n, b, ratio, g_tree, cands, args.scale,
+                                    pool="off")
+                    )
+                    if off.pop("_trees") != ref:
+                        failures.append(
+                            f"{label} B={b}: pool-off forest differs"
+                        )
+                    reduction = (
+                        off["disk_read_bytes"]
+                        / by_g[g_tree]["disk_read_bytes"]
+                    )
+                    reductions[label] = reduction
+                    point["pool_off"] = off
+                    point["read_reduction"] = reduction
+                    if reduction < READ_REDUCTION_FLOOR:
+                        failures.append(
+                            f"{label} B=4 tree-parallel: cross-tree read "
+                            f"reduction {reduction:.2f}x below the "
+                            f"{READ_REDUCTION_FLOOR}x floor"
+                        )
+                points.append(point)
+
+    if len(set(winners)) < 2:
+        failures.append(
+            f"no regime crossover: group count {winners[0] if winners else '?'} "
+            f"won every point of the B x pool_ratio sweep"
+        )
+
+    print("Forest: regime sweep over one shared out-of-core spool")
+    rows = []
+    for pt in points:
+        per_g = ", ".join(
+            f"G={g}: {r['elapsed']:.1f}s" for g, r in pt["by_group"].items()
+        )
+        rows.append([
+            pt["dataset"],
+            str(pt["n_trees"]),
+            pt["pool_ratio"],
+            per_g,
+            str(pt["winner_g"]),
+            str(pt["modeled_g"]),
+            f"{pt['read_reduction']:.2f}x" if "read_reduction" in pt else "-",
+            "yes" if pt["identical_forests"] else "NO",
+        ])
+    print(format_table(
+        ["data", "B", "pool", "elapsed by group count", "win G",
+         "model G", "read redux", "same forest"],
+        rows,
+    ))
+
+    payload = {
+        "benchmark": "forest",
+        "quick": bool(args.quick),
+        "scale": args.scale,
+        "n_ranks": P,
+        "read_reduction_floor": READ_REDUCTION_FLOOR,
+        "sizes": sizes,
+        "trees": trees,
+        "pool_ratios": [ratio_label(r) for r in ratios],
+        "points": points,
+        "winner_groups": sorted(set(winners)),
+        "min_cross_tree_read_reduction": (
+            min(reductions.values()) if reductions else 0.0
+        ),
+        "ok": not failures,
+        "failures": failures,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,6 +67,11 @@ HEADLINES = {
         "lower",
         lambda p: max(pt["overhead"] for pt in p["points"]),
     ),
+    "forest": (
+        "min_cross_tree_read_reduction",
+        "higher",
+        lambda p: float(p["min_cross_tree_read_reduction"]),
+    ),
 }
 
 
@@ -167,8 +172,17 @@ def build_trajectory(
     for path in sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json"))):
         if os.path.basename(path) == "BENCH_trajectory.json":
             continue
-        with open(path) as fh:
-            bench_payload = json.load(fh)
+        try:
+            with open(path) as fh:
+                bench_payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            # a crashed bench can leave an empty or truncated payload
+            # behind; skip it rather than killing the whole aggregation
+            skipped.append(os.path.basename(path) + " (unreadable)")
+            continue
+        if not isinstance(bench_payload, dict):
+            skipped.append(os.path.basename(path) + " (unreadable)")
+            continue
         entry = headline_entry(bench_payload)
         if entry is None:
             skipped.append(os.path.basename(path))

@@ -29,13 +29,17 @@ from repro.core.config import PCloudsConfig
 from repro.core.dataset import DistributedDataset
 from repro.core.pclouds import PClouds, PCloudsResult
 from repro.data.generator import generate_quest, quest_schema
+from repro.forest.trainer import ForestConfig, ForestResult, PForest
 
 __all__ = [
     "ExperimentConfig",
+    "ForestExperimentConfig",
     "scaled_models",
     "build_cluster",
     "run_pclouds",
+    "run_forest",
     "bench_payload",
+    "forest_payload",
     "speedup_series",
 ]
 
@@ -114,6 +118,10 @@ class ExperimentConfig:
         set's bytes, independent of p (each node's RAM is fixed)."""
         return max(4096, int(self.n_records * row_nbytes * self.memory_ratio))
 
+    def pool_nbytes(self, row_nbytes: int) -> int:
+        """Buffer-pool capacity for this point's cluster."""
+        return int(self.pool_ratio * self.memory_limit_bytes(row_nbytes))
+
 
 def build_cluster(cfg: ExperimentConfig, row_nbytes: int) -> Cluster:
     net, disk, compute = scaled_models(cfg.scale)
@@ -126,8 +134,84 @@ def build_cluster(cfg: ExperimentConfig, row_nbytes: int) -> Cluster:
         memory_limit=limit,
         seed=cfg.seed,
         buffer_pool=cfg.buffer_pool,
-        pool_bytes=int(cfg.pool_ratio * limit),
+        pool_bytes=cfg.pool_nbytes(row_nbytes),
     )
+
+
+@dataclass(frozen=True)
+class ForestExperimentConfig(ExperimentConfig):
+    """One bagged-forest experiment point over a single shared spool.
+
+    The pool default differs from the single-tree default: for a forest,
+    the pool models node RAM provisioned to hold the *shared base spool
+    plus one bag* — that residency is what lets concurrent trees in
+    different rank groups hit each other's chunks instead of re-reading
+    them. ``pool_ratio=None`` (the forest default) auto-sizes the pool to
+    that working set; an explicit ratio keeps the single-tree semantics
+    (a multiple of the per-rank memory limit) for ablation sweeps.
+    """
+
+    n_trees: int = 8
+    #: "data" | "tree" | "hybrid" | "auto" (cost-model pick)
+    regime: str = "auto"
+    #: hybrid only: explicit concurrent group count
+    n_groups: int | None = None
+    #: None = auto-size to the tree-parallel working set (see class doc)
+    pool_ratio: float | None = None
+
+    def pool_nbytes(self, row_nbytes: int) -> int:
+        if self.pool_ratio is not None:
+            return super().pool_nbytes(row_nbytes)
+        # tree-parallel working set of one group rank: its share of the
+        # base spool plus the bag spool it fits from (a full bag when
+        # groups are single ranks), with slack for the child spools the
+        # partition pass writes alongside
+        working = self.n_records * row_nbytes * (1.0 / self.n_ranks + 1.0)
+        return max(
+            int(1.25 * working),
+            int(32.0 * self.memory_limit_bytes(row_nbytes)),
+        )
+
+
+def run_forest(
+    cfg: ForestExperimentConfig, *, trace: bool = False, metrics: bool = False
+) -> ForestResult:
+    """Generate data, distribute it once, and fit a bagged forest.
+
+    Mirrors :func:`run_pclouds`: same seed layout (``seed`` generates,
+    ``seed+1`` distributes, ``seed+2`` fits), same cost models, one
+    :class:`~repro.core.dataset.DistributedDataset` shared by every
+    member through per-tree multiplicity masks.
+    """
+    schema = quest_schema()
+    cols, labels = generate_quest(
+        cfg.n_records, cfg.function, seed=cfg.seed, noise=cfg.noise
+    )
+    cluster = build_cluster(cfg, schema.row_nbytes())
+    dataset = DistributedDataset.create(
+        cluster, schema, cols, labels, seed=cfg.seed + 1
+    )
+    forest = PForest(
+        ForestConfig(
+            n_trees=cfg.n_trees,
+            pclouds=PCloudsConfig(
+                clouds=CloudsConfig(
+                    method=cfg.method,
+                    q_root=cfg.resolved_q_root(),
+                    sample_size=cfg.resolved_sample(),
+                    min_node=cfg.min_node,
+                    purity=cfg.purity,
+                ),
+                q_switch=cfg.q_switch,
+                exchange=cfg.exchange,
+                frontier_batching=cfg.frontier_batching,
+                vote_top_k=cfg.vote_top_k,
+            ),
+            regime=cfg.regime,
+            n_groups=cfg.n_groups,
+        )
+    )
+    return forest.fit(dataset, seed=cfg.seed + 2, trace=trace, metrics=metrics)
 
 
 def run_pclouds(
@@ -177,6 +261,30 @@ def bench_payload(result: PCloudsResult, **extra) -> dict:
         "n_large_nodes": result.n_large_nodes,
         "n_small_tasks": result.n_small_tasks,
         "n_restarts": result.n_restarts,
+        **extra,
+    }
+    if result.metrics is not None:
+        payload["metrics"] = result.metrics_snapshot()
+    return payload
+
+
+def forest_payload(result: ForestResult, **extra) -> dict:
+    """Standard BENCH_*.json payload for one forest fit: elapsed time,
+    schedule shape, cross-tree cache accounting, and total disk reads."""
+    payload = {
+        "elapsed_s": result.elapsed,
+        "n_trees": len(result.forest.trees),
+        "n_groups": result.n_groups,
+        "n_waves": result.n_waves,
+        "n_restarts": result.n_restarts,
+        "cross_tree": result.cross_tree,
+        "disk_read_bytes": int(sum(result.disk_read_bytes)),
+        "tree_elapsed_s": {
+            str(t["tree"]): t["elapsed"] for t in result.tree_stats
+        },
+        "regime_costs": {
+            str(g): cost for g, cost in result.regime_costs.items()
+        },
         **extra,
     }
     if result.metrics is not None:

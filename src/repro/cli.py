@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Eight subcommands cover the workflows the paper's users would run::
+The subcommands cover the workflows the paper's users would run::
 
     repro generate --records 50000 --function 2 --out data.npz
     repro train data.npz --builder pclouds --ranks 8 --tree-out tree.json
+    repro forest --records 6000 --ranks 4 --trees 8 --regime auto
     repro evaluate tree.json data.npz
     repro serve --tree tree.json --records 1000000 --qps 500000
     repro speedup --records 18000 --ranks 1 2 4 8
@@ -45,6 +46,7 @@ from repro.core import (
     parallel_evaluate,
 )
 from repro.data import generate_quest, quest_schema
+from repro.forest import REGIMES
 
 __all__ = ["main", "build_parser"]
 
@@ -442,6 +444,68 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_forest(args: argparse.Namespace) -> int:
+    """Train a bagged forest over one shared out-of-core spool and report
+    the schedule (regime, groups, waves), the cross-tree cache payoff,
+    and training accuracy through the compiled serving engine."""
+    import json
+
+    from repro.bench.harness import ForestExperimentConfig, forest_payload, run_forest
+
+    cfg = ForestExperimentConfig(
+        n_records=args.records, n_ranks=args.ranks, scale=args.scale,
+        seed=args.seed, n_trees=args.trees, regime=args.regime,
+        n_groups=args.groups, pool_ratio=args.pool_ratio,
+        buffer_pool=args.buffer_pool,
+        exchange=args.exchange, vote_top_k=args.vote_top_k,
+    )
+    result = run_forest(cfg, metrics=True)
+    ct = result.cross_tree
+    print(
+        f"forest: {args.trees} trees on {args.ranks} ranks "
+        f"(regime={args.regime} -> {result.n_groups} group(s) x "
+        f"{result.n_waves} wave(s)): {result.elapsed:.1f} simulated s"
+    )
+    if result.regime_costs:
+        modeled = ", ".join(
+            f"G={g}: {c:.1f}s" for g, c in sorted(result.regime_costs.items())
+        )
+        print(f"  modelled regime costs: {modeled}")
+    print(
+        f"  cross-tree cache: {ct['cross_tree_hits']:,} of {ct['hits']:,} "
+        f"pool hits crossed a tree boundary "
+        f"({ct['cross_tree_hit_rate']:.1%}, "
+        f"{ct['cross_tree_hit_bytes'] / 1e6:.2f} MB served from "
+        f"other trees' reads)"
+    )
+    print(f"  disk read: {sum(result.disk_read_bytes) / 1e6:.2f} MB total")
+    for rec in result.tree_stats:
+        print(
+            f"  tree {rec['tree']}: {rec['elapsed']:.1f}s "
+            f"({rec['n_large']} large nodes, {rec['n_small']} small tasks)"
+        )
+
+    # training accuracy through the compiled engine (pinned bit-identical
+    # to the reference majority vote, so this also exercises serving)
+    columns, labels = generate_quest(
+        args.records, function=cfg.function, seed=args.seed, noise=cfg.noise
+    )
+    predicted = result.forest.compile().predict_batch(columns)
+    print(f"  training accuracy (compiled, majority vote): "
+          f"{accuracy(labels, predicted):.4f}")
+
+    if args.forest_out:
+        result.forest.save(args.forest_out)
+        print(f"wrote forest JSON to {args.forest_out}")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(forest_payload(result), fh, indent=2, default=float)
+        print(f"wrote forest report JSON to {args.json_out}")
+    if result.health is not None and not result.health.healthy and args.strict:
+        return 1
+    return 0
+
+
 def cmd_critpath(args: argparse.Namespace) -> int:
     """Run a traced+metered fit, extract its causal critical path, and
     report the Table-1 blame decomposition with bounded what-if speedups
@@ -716,6 +780,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true", help="exit nonzero on any alert"
     )
     h.set_defaults(func=cmd_health)
+
+    f = sub.add_parser(
+        "forest",
+        help="train a bagged forest over one shared spool: regime "
+        "scheduling, cross-tree chunk-cache payoff, compiled voting",
+    )
+    f.add_argument("--records", type=int, default=6000)
+    f.add_argument("--ranks", type=int, default=4)
+    f.add_argument("--trees", type=int, default=8, help="ensemble size B")
+    f.add_argument(
+        "--regime", default="auto", choices=list(REGIMES),
+        help="data-parallel, tree-parallel, hybrid, or cost-model auto",
+    )
+    f.add_argument(
+        "--groups", type=int, default=None,
+        help="hybrid: explicit concurrent group count (must divide ranks)",
+    )
+    f.add_argument(
+        "--pool-ratio", type=float, default=None,
+        help="buffer-pool capacity as a multiple of the memory limit "
+        "(default: auto-size the pool to the shared working set)",
+    )
+    f.add_argument(
+        "--buffer-pool", default="lru+prefetch",
+        choices=list(Cluster.BUFFER_POOL_MODES),
+        help="out-of-core chunk cache mode",
+    )
+    f.add_argument(
+        "--exchange", default="attribute", choices=list(EXCHANGE_STRATEGIES),
+        help="statistics-exchange strategy",
+    )
+    f.add_argument(
+        "--vote-top-k", type=int, default=8,
+        help="voting exchange: attributes each rank nominates",
+    )
+    f.add_argument("--scale", type=float, default=100.0, help="cost-model scale")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--forest-out", help="write the fitted forest as JSON")
+    f.add_argument("--json-out", help="write the forest report JSON")
+    f.add_argument(
+        "--strict", action="store_true", help="exit nonzero on any alert"
+    )
+    f.set_defaults(func=cmd_forest)
 
     cp = sub.add_parser(
         "critpath",

@@ -42,6 +42,7 @@ from .sse import (
     refine_with_alive,
     survival_ratio,
 )
+from .forest import DecisionForest, validate_forest
 from .tree import DecisionTree, TreeNode, validate_tree
 from .validation import CvResult, cross_validate, reduced_error_prune
 
@@ -51,6 +52,7 @@ __all__ = [
     "CATEGORICAL_SPLIT",
     "CloudsBuilder",
     "CloudsConfig",
+    "DecisionForest",
     "DecisionTree",
     "MdlPruneConfig",
     "NUMERIC_SPLIT",
@@ -98,6 +100,7 @@ __all__ = [
     "stats_from_arrays",
     "survival_ratio",
     "train_test_split",
+    "validate_forest",
     "validate_tree",
     "weighted_gini",
 ]

@@ -1,0 +1,119 @@
+"""Bagged decision forests: B member trees plus majority voting.
+
+The forest is a pure model container — training lives in
+:mod:`repro.forest` (the parallel out-of-core trainer), serving in
+:mod:`repro.serve` (the compiled stacked-table engine). Reference
+prediction here defines the voting semantics every other path must
+match bit for bit: each member casts one vote for its predicted label,
+and the forest answers the label with the most votes, ties going to the
+lowest label code (the same tie-break as ``TreeNode.label``'s argmax).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.data.schema import LABEL_DTYPE, Schema
+
+from .tree import (
+    DecisionTree,
+    _json_nesting_depth,
+    _recursion_headroom,
+    validate_tree,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve import CompiledForest
+
+__all__ = ["DecisionForest"]
+
+
+@dataclass
+class DecisionForest:
+    """A fitted ensemble: member trees over one schema."""
+
+    trees: list[DecisionTree]
+    schema: Schema
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.trees:
+            raise ValueError("a forest needs at least one tree")
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+    def __iter__(self) -> Iterator[DecisionTree]:
+        return iter(self.trees)
+
+    # -- inference ----------------------------------------------------------
+    def vote_counts(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Per-record ballot box: an ``(n, n_classes)`` int64 matrix of
+        member votes."""
+        n = len(next(iter(columns.values()))) if columns else 0
+        counts = np.zeros((n, self.schema.n_classes), dtype=np.int64)
+        rows = np.arange(n)
+        for tree in self.trees:
+            counts[rows, tree.predict(columns)] += 1
+        return counts
+
+    def predict(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Majority vote over the member trees (ties to the lowest label
+        code). This is the reference path the compiled engine is pinned
+        against."""
+        return np.argmax(self.vote_counts(columns), axis=1).astype(LABEL_DTYPE)
+
+    def compile(self) -> "CompiledForest":
+        """Flatten into a :class:`repro.serve.CompiledForest` — stacked
+        per-tree flat tables with a vectorised majority vote."""
+        from repro.serve import compile_forest
+
+        return compile_forest(self)
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "trees": [t.to_dict() for t in self.trees],
+            "n_classes": self.schema.n_classes,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, schema: Schema) -> "DecisionForest":
+        return cls(
+            trees=[DecisionTree.from_dict(d, schema) for d in data["trees"]],
+            schema=schema,
+            meta=dict(data.get("meta", {})),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the forest as JSON (one document holding every member)."""
+        payload = self.to_dict()
+        depth = max(t.depth for t in self.trees)
+        with _recursion_headroom(2 * depth + 64):
+            text = json.dumps(payload)
+        with open(path, "w") as fh:
+            fh.write(text)
+
+    @classmethod
+    def load(cls, path: str, schema: Schema) -> "DecisionForest":
+        with open(path) as fh:
+            text = fh.read()
+        try:
+            data = json.loads(text)
+        except RecursionError:
+            with _recursion_headroom(2 * _json_nesting_depth(text) + 64):
+                data = json.loads(text)
+        return cls.from_dict(data, schema)
+
+
+def validate_forest(forest: DecisionForest) -> None:
+    """Every member satisfies the single-tree structural invariants."""
+    for tree in forest.trees:
+        validate_tree(tree)

@@ -28,7 +28,7 @@ from .faults import (
     TransientDiskFaults,
     standard_plans,
 )
-from .machine import Cluster, RankContext, SpmdRun
+from .machine import Cluster, GroupContext, RankContext, SpmdRun
 from .network import NetworkModel
 from .stats import RankStats, RunStats
 from .trace import TraceEvent, Tracer, assert_schedules_match, attach_tracers
@@ -49,6 +49,7 @@ __all__ = [
     "DiskModel",
     "FaultInjector",
     "FaultPlan",
+    "GroupContext",
     "InjectedFault",
     "NetworkModel",
     "PhaseTimer",

@@ -114,6 +114,59 @@ class RankContext:
         self.charge_compute(seconds=self.compute.sort(n))
 
 
+class _PrefixedTimer:
+    """View of a rank's :class:`PhaseTimer` that namespaces phase names
+    (``tree3/stats``): the tree driver keeps its phase vocabulary while
+    traces, metrics and the critical path see per-tree attribution."""
+
+    def __init__(self, base: PhaseTimer, prefix: str) -> None:
+        self._base = base
+        self._prefix = prefix
+
+    def start(self, name: str) -> None:
+        self._base.start(self._prefix + name)
+
+    def stop(self) -> None:
+        self._base.stop()
+
+    @property
+    def current(self) -> str | None:
+        return self._base.current
+
+    @property
+    def totals(self) -> dict[str, float]:
+        return self._base.totals
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._base, name)
+
+
+class GroupContext:
+    """A :class:`RankContext` view bound to a sub-communicator.
+
+    Tree-parallel forest regimes split the world into disjoint rank
+    groups (``Comm.split``); the per-tree fit program then runs against a
+    context whose ``comm``/``rank``/``size`` are the *group's* while disk,
+    clock, memory, rng, stats and observers remain the underlying
+    physical rank's. An optional ``phase_prefix`` namespaces phase names
+    (``tree3/...``) so tracing and metrics attribute time per tree.
+    """
+
+    def __init__(
+        self, base: RankContext, comm: Comm, *, phase_prefix: str = ""
+    ) -> None:
+        self._base = base
+        self.comm = comm
+        self.rank = comm.rank
+        self.size = comm.size
+        self.timer = (
+            _PrefixedTimer(base.timer, phase_prefix) if phase_prefix else base.timer
+        )
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._base, name)
+
+
 @dataclass
 class SpmdRun:
     """Outcome of one ``Cluster.run``: per-rank return values, the

@@ -7,7 +7,7 @@ from .checkpoint import CheckpointStore
 from .config import EXCHANGE_STRATEGIES, PCloudsConfig
 from .dataset import DistributedDataset
 from .evaluate import ParallelEvaluation, parallel_evaluate
-from .pclouds import PClouds, PCloudsResult
+from .pclouds import PClouds, PCloudsResult, fit_tree_program
 from .small_tasks import SmallTask, process_small_tasks
 from .stats_exchange import attribute_owner, exchange_node_stats
 from .switching import auto_q_switch, break_even_node_size
@@ -30,6 +30,7 @@ __all__ = [
     "break_even_node_size",
     "evaluate_alive_parallel",
     "exchange_node_stats",
+    "fit_tree_program",
     "open_node",
     "parallel_evaluate",
     "process_small_tasks",

@@ -9,7 +9,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.machine import Cluster, RankContext
-from repro.data.distribute import load_fragment, multinomial_split, shuffle_split
+from repro.data.distribute import _take, load_fragment, split_indices
 from repro.data.schema import Schema
 from repro.ooc.columnset import ColumnSet
 
@@ -30,6 +30,11 @@ class DistributedDataset:
     contexts: list[RankContext]
     columnsets: list[ColumnSet]
     n_total: int
+    #: per-rank original-row indices of each rank's fragment (None when
+    #: the dataset was assembled outside :meth:`create`); the forest
+    #: layer uses these to express bagging masks over *global* row ids so
+    #: bags are invariant to the machine layout
+    row_ids: list[np.ndarray] | None = None
 
     @classmethod
     def create(
@@ -53,12 +58,8 @@ class DistributedDataset:
         the experimental setup) or ``"multinomial"`` (independent uniform
         placement, the Theorem-1 model).
         """
-        if policy == "shuffle":
-            frags = shuffle_split(columns, labels, cluster.n_ranks, seed=seed)
-        elif policy == "multinomial":
-            frags = multinomial_split(columns, labels, cluster.n_ranks, seed=seed)
-        else:
-            raise ValueError(f"unknown distribution policy {policy!r}")
+        ids = split_indices(len(labels), cluster.n_ranks, seed=seed, policy=policy)
+        frags = [_take(columns, labels, idx) for idx in ids]
         contexts = cluster.make_contexts()
         run = cluster.run(
             load_fragment,
@@ -77,6 +78,7 @@ class DistributedDataset:
             contexts=contexts,
             columnsets=list(run.results),
             n_total=int(len(labels)),
+            row_ids=ids,
         )
 
     @property

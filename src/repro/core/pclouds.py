@@ -46,7 +46,7 @@ from .small_tasks import SmallTask, process_small_tasks
 from .stats_exchange import exchange_level_stats, exchange_node_stats
 from .switching import auto_q_switch
 
-__all__ = ["PClouds", "PCloudsResult", "apportion_sample"]
+__all__ = ["PClouds", "PCloudsResult", "apportion_sample", "fit_tree_program"]
 
 
 @dataclass
@@ -499,9 +499,31 @@ def _fit_program(
     store: CheckpointStore | None = None,
     resume: bool = False,
 ) -> dict | None:
+    return fit_tree_program(
+        ctx, columnsets[ctx.rank], schema, config, n_total, seed,
+        store=store, resume=resume,
+    )
+
+
+def fit_tree_program(
+    ctx: RankContext,
+    cs: ColumnSet,
+    schema: Schema,
+    config: PCloudsConfig,
+    n_total: int,
+    seed: int,
+    store: CheckpointStore | None = None,
+    resume: bool = False,
+) -> dict | None:
+    """The SPMD body of one pCLOUDS tree build over ``ctx.comm``.
+
+    Everything flows through ``ctx`` — when ``ctx`` is a
+    :class:`~repro.cluster.machine.GroupContext` the same program fits a
+    tree inside a rank *group* (the forest's tree-parallel regime),
+    gathering the assembled tree at the group's rank 0. Consumes ``cs``.
+    """
     cfg = config.clouds
     stopping = cfg.stopping()
-    cs = columnsets[ctx.rank]
     q_switch = (
         auto_q_switch(
             schema, cfg, ctx.comm._world.network, ctx.disk.model,

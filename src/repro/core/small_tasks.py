@@ -67,8 +67,13 @@ def process_small_tasks(
     loads = [0.0] * comm.size
     for k, t in enumerate(tasks):
         loads[owner[k]] += t.build_cost()
+    # pass this rank's own load (not the whole vector): observers sit on
+    # the base context, whose world rank need not index a group-sized
+    # list when the builder runs inside a sub-communicator
     ctx.notify(
-        "on_small_assignment", loads, sum(1 for o in owner if o == comm.rank)
+        "on_small_assignment",
+        loads[comm.rank],
+        sum(1 for o in owner if o == comm.rank),
     )
 
     # one batched all-to-all: every rank reads its local fragment of each

@@ -30,6 +30,28 @@ def _take(columns: dict[str, np.ndarray], labels: np.ndarray, idx: np.ndarray) -
     return {k: v[idx] for k, v in columns.items()}, labels[idx]
 
 
+def split_indices(
+    n: int,
+    n_ranks: int,
+    seed: int = 0,
+    policy: str = "shuffle",
+) -> list[np.ndarray]:
+    """Per-rank original-row indices for a distribution policy — the same
+    draws ``shuffle_split``/``multinomial_split`` make, exposed so layers
+    above (forest bagging) can reason about *which* global records landed
+    on each rank."""
+    if n_ranks < 1:
+        raise ValueError(f"need at least one rank, got {n_ranks}")
+    if policy == "shuffle":
+        perm = np.random.default_rng(seed).permutation(n)
+        bounds = np.linspace(0, n, n_ranks + 1).astype(np.int64)
+        return [perm[bounds[r] : bounds[r + 1]] for r in range(n_ranks)]
+    if policy == "multinomial":
+        owner = np.random.default_rng(seed).integers(0, n_ranks, n)
+        return [np.flatnonzero(owner == r) for r in range(n_ranks)]
+    raise ValueError(f"unknown distribution policy {policy!r}")
+
+
 def shuffle_split(
     columns: dict[str, np.ndarray],
     labels: np.ndarray,
@@ -38,15 +60,8 @@ def shuffle_split(
 ) -> list[Fragment]:
     """Random permutation, then contiguous shares differing by at most one
     record."""
-    if n_ranks < 1:
-        raise ValueError(f"need at least one rank, got {n_ranks}")
-    n = len(labels)
-    perm = np.random.default_rng(seed).permutation(n)
-    bounds = np.linspace(0, n, n_ranks + 1).astype(np.int64)
-    return [
-        _take(columns, labels, perm[bounds[r] : bounds[r + 1]])
-        for r in range(n_ranks)
-    ]
+    ids = split_indices(len(labels), n_ranks, seed=seed, policy="shuffle")
+    return [_take(columns, labels, idx) for idx in ids]
 
 
 def multinomial_split(
@@ -56,11 +71,8 @@ def multinomial_split(
     seed: int = 0,
 ) -> list[Fragment]:
     """Each record independently lands on a uniformly random rank."""
-    if n_ranks < 1:
-        raise ValueError(f"need at least one rank, got {n_ranks}")
-    n = len(labels)
-    owner = np.random.default_rng(seed).integers(0, n_ranks, n)
-    return [_take(columns, labels, np.flatnonzero(owner == r)) for r in range(n_ranks)]
+    ids = split_indices(len(labels), n_ranks, seed=seed, policy="multinomial")
+    return [_take(columns, labels, idx) for idx in ids]
 
 
 def load_fragment(

@@ -1,7 +1,7 @@
 """Generic parallel out-of-core divide-and-conquer techniques
 (Section 3 of the paper)."""
 
-from .cost import DncCostModel, TreeShape
+from .cost import DncCostModel, TreeShape, choose_forest_regime, forest_regime_cost
 from .driver import STRATEGIES, StrategyResult, make_executor, run_strategy
 from .executors import (
     ConcatenatedExecutor,
@@ -26,6 +26,8 @@ __all__ = [
     "SyntheticDnc",
     "TaskOutcome",
     "TaskParallelExecutor",
+    "choose_forest_regime",
+    "forest_regime_cost",
     "make_executor",
     "parallel_sample_sort",
     "run_strategy",

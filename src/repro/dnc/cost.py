@@ -29,6 +29,8 @@ __all__ = [
     "exchange_stats_bytes",
     "exchange_cost",
     "startup_cost",
+    "forest_regime_cost",
+    "choose_forest_regime",
 ]
 
 
@@ -348,3 +350,112 @@ class DncCostModel:
         per_level = self.pass_time(nbytes) + self.level_compute(shape)
         t += remaining * per_level
         return t
+
+
+# -- forest regimes ------------------------------------------------------------
+
+
+def forest_regime_cost(
+    model: DncCostModel,
+    shape: TreeShape,
+    *,
+    n_trees: int,
+    n_groups: int,
+    memory_limit: int | None = None,
+    pool_bytes: int | None = None,
+    copy_ratio: float = 50.0,
+    stats_nbytes: int | None = None,
+) -> float:
+    """Predicted elapsed time of training ``n_trees`` bagged trees over
+    one p-rank machine with ``n_groups`` disjoint rank groups building
+    trees concurrently (the Section-3 trade-off replayed one level up).
+
+    * ``n_groups == 1`` is **data parallelism**: all p ranks per tree,
+      trees sequential. Each tree pays the per-level statistics exchange
+      over the full machine — ``stats_nbytes`` should be the *actual*
+      per-node payload (attributes x intervals x classes), which is what
+      dominates and what grouping eliminates.
+    * ``n_groups == G > 1`` is **tree/hybrid parallelism**: trees run
+      ``G`` at a time on groups of ``p/G`` ranks. Fewer ranks per
+      collective makes communication cheaper (none at all for gp=1), but
+      each group rank holds a ``G×`` larger share of its tree's bag, so
+      the fit streams more. Bags must also be redistributed onto their
+      owner group (one alltoallv per tree).
+
+    ``pool_bytes`` is credited on both sides: bag-derivation rescans of a
+    pool-resident base fragment become memory copies, and fit levels
+    whose fragments fit the pool drop their second read (the pool serves
+    the re-read, so for read counting it acts as extra memory).
+
+    The returned figure is a Table-1-style analytic estimate for regime
+    *ranking*, not a forecast of the simulator's exact elapsed time.
+    """
+    p = model.n_ranks
+    if n_groups < 1 or p % n_groups != 0:
+        raise ValueError(f"n_groups={n_groups} must divide n_ranks={p}")
+    if n_trees < 1:
+        raise ValueError(f"need at least one tree, got {n_trees}")
+    gp = p // n_groups
+    waves = math.ceil(n_trees / n_groups)
+    base_rank_bytes = shape.n_records * shape.record_nbytes / p
+
+    # bag derivation: every tree scans the base spool once; with a pool
+    # large enough to keep the base fragment resident, scans after the
+    # first within a wave window are served as memory copies
+    scan = model.pass_time(base_rank_bytes)
+    copy = base_rank_bytes / (copy_ratio * model.disk.bandwidth)
+    pooled = pool_bytes is not None and base_rank_bytes <= pool_bytes
+    derive = scan + (n_trees - 1) * (copy if pooled else scan)
+    # writing each bag fragment back to local disk (bag size == n)
+    derive += n_trees * model.pass_time(base_rank_bytes)
+    if n_groups > 1:
+        # ship each bag onto its owner group's ranks
+        derive += n_trees * model.network.alltoallv(
+            base_rank_bytes, base_rank_bytes * n_groups, p
+        )
+
+    # fitting: each wave runs G concurrent data-parallel fits over gp
+    # ranks; per-group-rank fragments are G× larger than the base share
+    group_model = DncCostModel(
+        network=model.network,
+        disk=model.disk,
+        compute=model.compute,
+        n_ranks=gp,
+        summary_nbytes=(
+            model.summary_nbytes if stats_nbytes is None else stats_nbytes
+        ),
+        ops_per_record=model.ops_per_record,
+    )
+    # the pool serves re-reads of resident fragments, so it counts as
+    # memory for the purpose of dropping a level's second read
+    fit_limit = max(memory_limit or 0, pool_bytes or 0) or None
+    fit = waves * group_model.data_parallel(shape, fit_limit)
+    return derive + fit
+
+
+def choose_forest_regime(
+    model: DncCostModel,
+    shape: TreeShape,
+    *,
+    n_trees: int,
+    memory_limit: int | None = None,
+    pool_bytes: int | None = None,
+    copy_ratio: float = 50.0,
+    stats_nbytes: int | None = None,
+) -> tuple[int, dict[int, float]]:
+    """Pick the cheapest group count for a forest: evaluates
+    :func:`forest_regime_cost` at every divisor of p up to
+    ``min(n_trees, p)`` and returns ``(best_n_groups, {G: cost})``.
+    Ties go to the smaller G (less redistribution machinery)."""
+    p = model.n_ranks
+    candidates = [g for g in range(1, min(n_trees, p) + 1) if p % g == 0]
+    costs = {
+        g: forest_regime_cost(
+            model, shape, n_trees=n_trees, n_groups=g,
+            memory_limit=memory_limit, pool_bytes=pool_bytes,
+            copy_ratio=copy_ratio, stats_nbytes=stats_nbytes,
+        )
+        for g in candidates
+    }
+    best = min(costs, key=lambda g: (costs[g], g))
+    return best, costs

@@ -1,0 +1,26 @@
+"""Parallel out-of-core random forests over one distributed spool.
+
+Bagging without data duplication (per-tree multiplicity vectors over
+global row ids), wave scheduling across data-parallel / tree-parallel /
+hybrid regimes picked by the extended Table-1 cost model, and a
+cross-tree shared buffer pool that collapses the members' base-spool
+scans. See :mod:`repro.forest.trainer` for the trainer,
+:mod:`repro.forest.bagging` for the reproducible RNG spawn tree, and
+:mod:`repro.forest.regimes` for the scheduler.
+"""
+
+from .bagging import TreeSeeds, bag_multiplicities, spawn_tree_seeds
+from .regimes import REGIMES, candidate_groups, resolve_n_groups
+from .trainer import ForestConfig, ForestResult, PForest
+
+__all__ = [
+    "ForestConfig",
+    "ForestResult",
+    "PForest",
+    "REGIMES",
+    "TreeSeeds",
+    "bag_multiplicities",
+    "candidate_groups",
+    "resolve_n_groups",
+    "spawn_tree_seeds",
+]

@@ -1,0 +1,74 @@
+"""Per-tree RNG streams and bootstrap bag derivation.
+
+Every source of randomness in a forest fit descends from one
+``np.random.SeedSequence`` spawn tree, so the bags — and therefore the
+member trees — are **bit-reproducible regardless of regime, rank count
+or scheduling order**:
+
+* the forest seed's ``SeedSequence`` spawns one child per member tree
+  (``spawn`` is order-deterministic and collision-resistant by
+  construction);
+* each tree's child spawns exactly two grandchildren: one seeding the
+  bootstrap *mask*, one hashed down to the 32-bit ``fit_seed`` handed to
+  the single-tree builder (whose own preprocessing derives per-rank
+  streams from ``SeedSequence([fit_seed, 17, rank])``).
+
+Bags are expressed as a **multiplicity vector over global row ids**
+(how many times each original record appears in the bag), not as a
+resampled copy of the data: the vector is a pure function of the mask
+seed and ``n_total``, so every rank can replicate it locally and the bag
+*multiset* is invariant to how the records happen to be laid out across
+the machine — the property the bit-identity guarantee rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TreeSeeds", "spawn_tree_seeds", "bag_multiplicities"]
+
+
+@dataclass(frozen=True)
+class TreeSeeds:
+    """The two independent streams owned by one member tree."""
+
+    tree: int
+    #: seeds the bootstrap draw (``bag_multiplicities``)
+    mask: np.random.SeedSequence
+    #: 32-bit seed for the single-tree builder's own RNG tree
+    fit_seed: int
+
+
+def spawn_tree_seeds(seed: int, n_trees: int) -> list[TreeSeeds]:
+    """One :class:`TreeSeeds` per member, spawned from the forest seed.
+
+    The spawn tree is fixed by ``(seed, n_trees ordering)`` alone —
+    nothing about the machine, regime or schedule enters it — so tree
+    ``t`` of ``PForest(seed=s)`` always sees the same streams.
+    """
+    if n_trees < 1:
+        raise ValueError(f"n_trees must be >= 1, got {n_trees}")
+    out: list[TreeSeeds] = []
+    for t, child in enumerate(np.random.SeedSequence(seed).spawn(n_trees)):
+        mask_ss, fit_ss = child.spawn(2)
+        fit_seed = int(fit_ss.generate_state(1, dtype=np.uint32)[0])
+        out.append(TreeSeeds(tree=t, mask=mask_ss, fit_seed=fit_seed))
+    return out
+
+
+def bag_multiplicities(
+    mask: np.random.SeedSequence, n_total: int
+) -> np.ndarray:
+    """Bootstrap multiplicity of every global row in one tree's bag.
+
+    ``n_total`` draws with replacement over ``[0, n_total)``; the
+    returned int64 vector counts how often each row was drawn (sums to
+    ``n_total``). Replicated identically on every rank from the tree's
+    mask seed — no communication, no dependence on data layout.
+    """
+    if n_total < 1:
+        raise ValueError(f"n_total must be >= 1, got {n_total}")
+    draws = np.random.default_rng(mask).integers(0, n_total, size=n_total)
+    return np.bincount(draws, minlength=n_total).astype(np.int64)

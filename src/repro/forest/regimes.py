@@ -1,0 +1,93 @@
+"""Parallelism regimes for the forest trainer.
+
+A forest of ``B`` trees on ``p`` ranks can be scheduled anywhere on the
+axis between two extremes:
+
+* **data-parallel** (``n_groups = 1``): all ``p`` ranks cooperate on one
+  tree at a time, ``B`` sequential waves — each tree sees the full
+  machine, exactly the paper's single-tree regime;
+* **tree-parallel** (``n_groups = min(B, p)``): the machine splits into
+  disjoint rank groups (``Comm.split``), each fitting its own tree
+  concurrently — trees see smaller machines but their base-spool scans
+  overlap in time, which is what lets the shared buffer pool serve one
+  tree's chunks to another;
+* **hybrid**: any divisor in between.
+
+``resolve_n_groups`` turns a regime name into a concrete group count;
+``"auto"`` asks the extended Table-1 cost model
+(:func:`repro.dnc.cost.choose_forest_regime`) to pick the cheapest
+candidate for the given memory budget, pool size and ``B``.
+"""
+
+from __future__ import annotations
+
+from repro.dnc.cost import DncCostModel, TreeShape, choose_forest_regime
+
+__all__ = ["REGIMES", "candidate_groups", "resolve_n_groups"]
+
+#: recognised scheduler regimes
+REGIMES = ("data", "tree", "hybrid", "auto")
+
+
+def candidate_groups(n_ranks: int, n_trees: int) -> list[int]:
+    """Feasible group counts: divisors of ``n_ranks`` (groups must be
+    equal-sized for ``Comm.split``'s contiguous blocks) no larger than
+    ``n_trees`` (an idle group is never worth paying for) or ``n_ranks``.
+    Always non-empty (1 divides everything)."""
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    if n_trees < 1:
+        raise ValueError(f"n_trees must be >= 1, got {n_trees}")
+    return [
+        g for g in range(1, min(n_trees, n_ranks) + 1) if n_ranks % g == 0
+    ]
+
+
+def resolve_n_groups(
+    regime: str,
+    *,
+    n_ranks: int,
+    n_trees: int,
+    n_groups: int | None = None,
+    model: DncCostModel | None = None,
+    shape: TreeShape | None = None,
+    memory_limit: int | None = None,
+    pool_bytes: int | None = None,
+    stats_nbytes: int | None = None,
+) -> tuple[int, dict[int, float]]:
+    """Concrete group count for a regime name.
+
+    Returns ``(n_groups, costs)`` where ``costs`` maps every candidate
+    group count to its modelled forest time — populated only for
+    ``"auto"`` (the other regimes never consult the model). ``"hybrid"``
+    honours an explicit ``n_groups`` (validated against the candidates)
+    and otherwise takes the middle divisor.
+    """
+    if regime not in REGIMES:
+        raise ValueError(f"unknown regime {regime!r}; expected one of {REGIMES}")
+    cands = candidate_groups(n_ranks, n_trees)
+    if regime == "data":
+        return 1, {}
+    if regime == "tree":
+        return cands[-1], {}
+    if regime == "hybrid":
+        if n_groups is None:
+            return cands[len(cands) // 2], {}
+        if n_groups not in cands:
+            raise ValueError(
+                f"n_groups={n_groups} infeasible for p={n_ranks}, "
+                f"B={n_trees}; candidates are {cands}"
+            )
+        return n_groups, {}
+    if model is None or shape is None:
+        raise ValueError(
+            "regime='auto' needs the cluster cost model and a TreeShape"
+        )
+    return choose_forest_regime(
+        model,
+        shape,
+        n_trees=n_trees,
+        memory_limit=memory_limit,
+        pool_bytes=pool_bytes,
+        stats_nbytes=stats_nbytes,
+    )

@@ -120,6 +120,12 @@ class HealthThresholds:
     #: the run is bound by one resource and the what-if bound says how
     #: much relieving it can pay
     critpath_dominant_share: float = 0.9
+    #: forest runs with concurrent trees sharing each rank's buffer pool
+    #: (``n_groups > 1``): alert when the share of pool hits served
+    #: across a tree boundary falls below this — the shared chunk cache
+    #: is not being reused between trees (pool too small for the base
+    #: spool, or the schedule serialised the trees)
+    forest_cross_tree_hit_rate: float = 0.02
 
 
 @dataclass(frozen=True)
@@ -364,6 +370,33 @@ class HealthMonitor:
         with self._lock:
             self.alerts.extend(alerts)
         return alerts
+
+    def evaluate_forest_cache(
+        self, *, n_groups: int, cross_tree_hits: int, hits: int
+    ) -> list[HealthAlert]:
+        """Post-run forest indicator: with concurrent trees sharing each
+        rank's buffer pool (tree-parallel / hybrid regimes), a near-zero
+        share of hits crossing a tree boundary means the shared cache is
+        not paying for itself. Silent for data-parallel runs (one group)
+        and runs without pool traffic. Called post-run by
+        :meth:`repro.forest.PForest.fit` — the hit counters are run-wide
+        pool deltas, not per-level summaries."""
+        if n_groups <= 1 or hits <= 0:
+            return []
+        th = self.thresholds.forest_cross_tree_hit_rate
+        rate = cross_tree_hits / hits
+        if rate >= th:
+            return []
+        alert = HealthAlert(
+            "forest_cross_tree_hit_rate", OUTSIDE_LEVEL, None, rate, th,
+            f"forest: only {rate:.1%} of buffer-pool hits crossed a tree "
+            f"boundary across {n_groups} concurrent groups (below "
+            f"{th:.0%}) — the shared chunk cache is not being reused "
+            "between trees",
+        )
+        with self._lock:
+            self.alerts.append(alert)
+        return [alert]
 
     # -- aggregates ----------------------------------------------------------
     def overall_drift_by_op(self) -> dict[str, tuple[float, float]]:

@@ -450,14 +450,12 @@ class MetricsRecorder:
                 sum(ratios) / len(ratios),
             )
 
-    def on_small_assignment(self, loads: list[float], owned: int) -> None:
+    def on_small_assignment(self, load: float, owned: int) -> None:
         self.shard.set(
             "repro_small_tasks_owned", (self.rank_label,), float(owned)
         )
         self.shard.set(
-            "repro_small_task_cost_load",
-            (self.rank_label,),
-            float(loads[self.ctx.rank]),
+            "repro_small_task_cost_load", (self.rank_label,), float(load)
         )
 
     def on_stats_exchange(self, strategy: str, n_nodes: int) -> None:

@@ -76,6 +76,10 @@ class PoolStats:
     miss_bytes: int = 0
     overlap_saved_s: float = 0.0  # disk time hidden behind compute
     copy_s: float = 0.0  # memory-copy seconds charged for hits
+    #: hits served from chunks admitted while another tree was the pool's
+    #: consumer (``begin_tree``) — the forest's shared-cache payoff
+    cross_tree_hits: int = 0
+    cross_tree_hit_bytes: int = 0
 
     def lookups(self) -> int:
         return self.hits + self.misses
@@ -83,6 +87,10 @@ class PoolStats:
     def hit_rate(self) -> float:
         n = self.lookups()
         return self.hits / n if n else 0.0
+
+    def cross_tree_hit_rate(self) -> float:
+        """Share of all hits that crossed a tree boundary."""
+        return self.cross_tree_hits / self.hits if self.hits else 0.0
 
     def as_dict(self) -> dict[str, float]:
         return {f: getattr(self, f) for f in self.__dataclass_fields__}
@@ -97,6 +105,7 @@ class _Entry:
     array: np.ndarray | None = None
     completion: float = 0.0  # absolute clock time the transfer finishes
     rated_dt: float = 0.0  # full transfer duration in clock-domain seconds
+    tree: int | None = None  # forest tree that admitted/issued the chunk
 
 
 @dataclass
@@ -116,6 +125,10 @@ class BufferPool:
     copy_ratio: float = DEFAULT_COPY_RATIO
     stats: PoolStats = field(default_factory=PoolStats)
     disk: "LocalDisk | None" = None  # set by LocalDisk.attach_pool
+    #: forest tree currently consuming the pool (None outside forests);
+    #: entries remember the admitting tree so hits that cross trees are
+    #: attributed to the shared cache rather than within-tree reuse
+    current_tree: int | None = None
     _entries: "OrderedDict[object, _Entry]" = field(default_factory=OrderedDict)
     _pinned: set = field(default_factory=set)
 
@@ -127,6 +140,12 @@ class BufferPool:
     @property
     def capacity(self) -> int:
         return int(self.budget.limit or 0)
+
+    def begin_tree(self, tree: int | None) -> None:
+        """Mark which forest tree is about to consume the pool. Chunks
+        already resident keep the tag of the tree that admitted them, so
+        subsequent hits register as cross-tree."""
+        self.current_tree = tree
 
     def would_cache(self, nbytes: int) -> bool:
         """Could a working set of ``nbytes`` be wholly resident? Drivers
@@ -160,6 +179,7 @@ class BufferPool:
             self._entries.move_to_end(handle)
             self.stats.hits += 1
             self.stats.hit_bytes += int(nbytes)
+            self._note_cross_tree(entry, nbytes)
             self._charge_copy(nbytes)
             return entry.array
         if entry is not None:
@@ -183,6 +203,7 @@ class BufferPool:
             self._entries.move_to_end(handle)
             self.stats.hits += 1
             self.stats.hit_bytes += int(nbytes)
+            self._note_cross_tree(entry, nbytes)
             self._charge_copy(nbytes)
             return entry.array
         return self._complete_inflight(handle, entry, nbytes, crc)
@@ -220,7 +241,8 @@ class BufferPool:
         self.budget.acquire(nbytes)
         completion, rated_dt = self.disk.issue_prefetch_io(nbytes)
         self._entries[handle] = _Entry(
-            nbytes=int(nbytes), completion=completion, rated_dt=rated_dt
+            nbytes=int(nbytes), completion=completion, rated_dt=rated_dt,
+            tree=self.current_tree,
         )
         self.stats.prefetch_issued += 1
 
@@ -270,7 +292,9 @@ class BufferPool:
             self.stats.bypasses += 1
             return
         self.budget.acquire(nbytes)
-        self._entries[handle] = _Entry(nbytes=int(nbytes), array=arr)
+        self._entries[handle] = _Entry(
+            nbytes=int(nbytes), array=arr, tree=self.current_tree
+        )
 
     def _make_room(self, nbytes: int) -> bool:
         if nbytes > self.capacity:
@@ -295,6 +319,15 @@ class BufferPool:
         self.budget.release(entry.nbytes)
         self.stats.evictions += 1
         return True
+
+    def _note_cross_tree(self, entry: _Entry, nbytes: int) -> None:
+        if (
+            entry.tree is not None
+            and self.current_tree is not None
+            and entry.tree != self.current_tree
+        ):
+            self.stats.cross_tree_hits += 1
+            self.stats.cross_tree_hit_bytes += int(nbytes)
 
     def _charge_copy(self, nbytes: int) -> None:
         disk = self.disk

@@ -22,6 +22,7 @@ drivers over these three layers.
 """
 
 from .compiler import CompiledTree, compile_tree
+from .forest import CompiledForest, compile_forest
 from .engine import (
     SERVE_LATENCY_BUCKETS,
     ServeEngine,
@@ -30,11 +31,13 @@ from .engine import (
 from .replay import ReplayConfig, ReplayReport, replay, request_batches
 
 __all__ = [
+    "CompiledForest",
     "CompiledTree",
     "ReplayConfig",
     "ReplayReport",
     "SERVE_LATENCY_BUCKETS",
     "ServeEngine",
+    "compile_forest",
     "compile_tree",
     "register_serve_metrics",
     "replay",

@@ -1,0 +1,96 @@
+"""Compile a fitted :class:`~repro.clouds.DecisionForest` for serving.
+
+Each member tree is flattened by :func:`~repro.serve.compiler.compile_tree`
+into its node-major tables; the forest engine stacks them behind one
+shared record-major feature matrix (built once per batch, filled for the
+union of the members' used features) and tallies the members' levelwise
+predictions into a per-record ballot box. The majority vote — ties to
+the lowest label code — is pinned **bit-identical** to the reference
+``DecisionForest.predict``, which itself composes the per-tree reference
+walkers, so the whole chain
+
+    reference trees → reference vote == compiled trees → compiled vote
+
+holds bit for bit (each compiled tree is already pinned against its
+reference walker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.data.schema import LABEL_DTYPE, Schema
+
+from .compiler import CompiledTree, compile_tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clouds.forest import DecisionForest
+
+__all__ = ["CompiledForest", "compile_forest"]
+
+
+@dataclass(frozen=True)
+class CompiledForest:
+    """A fitted forest as stacked per-tree flat tables."""
+
+    schema: Schema
+    trees: tuple[CompiledTree, ...]
+
+    # -- shape -------------------------------------------------------------
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(t.n_nodes for t in self.trees)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(t.nbytes for t in self.trees)
+
+    @property
+    def depth(self) -> int:
+        return max(t.depth for t in self.trees)
+
+    @property
+    def used_features(self) -> np.ndarray:
+        """Sorted schema indices of features any member tests."""
+        return np.unique(np.concatenate([t.used_features for t in self.trees]))
+
+    # -- evaluation --------------------------------------------------------
+    def feature_matrix(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """One record-major float64 matrix shared by every member's
+        levelwise evaluation; only the union of used features is filled."""
+        names = self.schema.names
+        n = len(next(iter(columns.values()))) if columns else 0
+        X = np.empty((n, len(names)), dtype=np.float64)
+        for f in self.used_features:
+            X[:, f] = np.asarray(columns[names[f]], dtype=np.float64)
+        return X
+
+    def vote_counts(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Per-record ``(n, n_classes)`` ballot box of member votes."""
+        X = self.feature_matrix(columns)
+        n = X.shape[0]
+        counts = np.zeros((n, self.schema.n_classes), dtype=np.int64)
+        rows = np.arange(n)
+        for tree in self.trees:
+            counts[rows, tree.predict_matrix(X)] += 1
+        return counts
+
+    def predict_batch(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Vectorised majority vote, bit-identical to the reference
+        ``DecisionForest.predict`` (argmax ties to the lowest code)."""
+        return np.argmax(self.vote_counts(columns), axis=1).astype(LABEL_DTYPE)
+
+
+def compile_forest(forest: "DecisionForest") -> CompiledForest:
+    """Flatten every member of ``forest`` into a :class:`CompiledForest`."""
+    return CompiledForest(
+        schema=forest.schema,
+        trees=tuple(compile_tree(t) for t in forest.trees),
+    )
